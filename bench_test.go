@@ -1,0 +1,395 @@
+package clustermarket_test
+
+// Benchmark harness: one benchmark per paper table/figure (see the
+// experiment index in DESIGN.md) plus ablations over the design choices
+// called out there. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks that regenerate figures report shape metrics (price ratios,
+// rounds, stranding) via b.ReportMetric alongside the timing, so a bench
+// run doubles as a smoke check of the reproduced results.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/optimize"
+	"clustermarket/internal/reserve"
+	"clustermarket/internal/sim"
+)
+
+// benchConfig is a small but structurally faithful world: enough clusters
+// for hot/cold skew, enough teams for competition.
+func benchConfig(seed int64) sim.Config {
+	return sim.Config{
+		Seed:               seed,
+		Clusters:           8,
+		MachinesPerCluster: 10,
+		Teams:              30,
+	}
+}
+
+// BenchmarkFig2ReserveCurves regenerates Figure 2 (FIG2).
+func BenchmarkFig2ReserveCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves := sim.Fig2(100)
+		if len(curves) != 3 {
+			b.Fatal("bad curve count")
+		}
+	}
+}
+
+// BenchmarkFig6PriceRatios regenerates Figure 6 (FIG6): world build, one
+// market auction, price/fixed-price ratios.
+func BenchmarkFig6PriceRatios(b *testing.B) {
+	var hot, cold float64
+	for i := 0; i < b.N; i++ {
+		d, err := sim.Fig6(benchConfig(100 + int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hot, cold = d.CongestionPriceCorrelation(0.75, 0.4)
+	}
+	b.ReportMetric(hot, "hotRatio")
+	b.ReportMetric(cold, "coldRatio")
+}
+
+// BenchmarkFig7SettledUtilization regenerates Figure 7 (FIG7) over two
+// sequential auctions.
+func BenchmarkFig7SettledUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := sim.Fig7(benchConfig(200+int64(i)), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Groups) == 0 {
+			b.Fatal("no boxplot groups")
+		}
+	}
+}
+
+// BenchmarkTable1BidPremiums regenerates Table I (TAB1): three sequential
+// auctions with evolving bidder sophistication.
+func BenchmarkTable1BidPremiums(b *testing.B) {
+	var medianDrop float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Table1(benchConfig(300+int64(i)), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Median > 0 {
+			medianDrop = rows[2].Median / rows[0].Median
+		}
+	}
+	b.ReportMetric(medianDrop, "medianRatioA3overA1")
+}
+
+// BenchmarkBaselineComparison regenerates the BASE experiment: fixed
+// price vs manual quota vs proportional share vs market.
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Baseline(benchConfig(400 + int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkMigration regenerates the MIGR experiment over three auctions.
+func BenchmarkMigration(b *testing.B) {
+	var coldShare float64
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Migration(benchConfig(500+int64(i)), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coldShare = rows[len(rows)-1].ColdShare
+	}
+	b.ReportMetric(coldShare, "coldShare")
+}
+
+// runSynthetic runs one synthetic pure market to convergence.
+func runSynthetic(b *testing.B, seed int64, users, pools int, parallel bool) *core.Result {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	reg, bids := sim.SyntheticMarket(rng, users, pools)
+	start := reg.Zero()
+	for i := range start {
+		start[i] = 0.5
+	}
+	a, err := core.NewAuction(reg, bids, core.Config{
+		Start:    start,
+		Policy:   core.Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+		Parallel: parallel,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := a.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkClockAuctionPaperScale is the SCALE experiment's headline
+// point: the paper's Python simulator took "a few minutes" at 100 bidders
+// × 100 resources; optimized compiled code should be orders of magnitude
+// faster.
+func BenchmarkClockAuctionPaperScale(b *testing.B) {
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res := runSynthetic(b, 42, 100, 100, false)
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkClockAuctionUsers sweeps the user count at R=100 (SCALE).
+func BenchmarkClockAuctionUsers(b *testing.B) {
+	for _, users := range []int{25, 100, 400} {
+		b.Run(benchName("U", users), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSynthetic(b, 42, users, 100, false)
+			}
+		})
+	}
+}
+
+// BenchmarkClockAuctionPools sweeps the pool count at U=100 (SCALE).
+func BenchmarkClockAuctionPools(b *testing.B) {
+	for _, pools := range []int{25, 100, 400} {
+		b.Run(benchName("R", pools), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSynthetic(b, 42, 100, pools, false)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncrementPolicies compares the Section III.C.2 price
+// update rules on an identical market: time per full auction plus rounds
+// to converge.
+func BenchmarkAblationIncrementPolicies(b *testing.B) {
+	policies := []core.IncrementPolicy{
+		core.Additive{Alpha: 0.02},
+		core.Capped{Alpha: 0.02, Delta: 0.25, MinStep: 0.001},
+		core.Proportional{Alpha: 0.02, Frac: 0.1, Base: 1},
+		core.CostNormalized{Alpha: 0.02, DeltaFrac: 0.25},
+	}
+	for _, pol := range policies {
+		b.Run(pol.Name(), func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(77))
+				reg, bids := sim.SyntheticMarket(rng, 100, 50)
+				start := reg.Zero()
+				for j := range start {
+					start[j] = 0.5
+				}
+				a, err := core.NewAuction(reg, bids, core.Config{Start: start, Policy: pol})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := a.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkAblationReserveCurves compares the three Figure 2 weighting
+// functions as the market's reserve curve, reporting the hot-pool price
+// ratio each produces.
+func BenchmarkAblationReserveCurves(b *testing.B) {
+	curves := []struct {
+		name string
+		fn   reserve.WeightFn
+	}{
+		{"phi1-exp-steep", reserve.ExpSteep},
+		{"phi2-exp-mild", reserve.ExpMild},
+		{"phi3-hyperbolic", reserve.Hyperbolic},
+	}
+	for _, c := range curves {
+		b.Run(c.name, func(b *testing.B) {
+			var hot float64
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig(600)
+				cfg.Weight = c.fn
+				d, err := sim.Fig6(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hot, _ = d.CongestionPriceCorrelation(0.75, 0.4)
+			}
+			b.ReportMetric(hot, "hotRatio")
+		})
+	}
+}
+
+// BenchmarkAblationParallelProxies measures serial vs worker-pool proxy
+// evaluation on a large market.
+func BenchmarkAblationParallelProxies(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		parallel bool
+	}{{"serial", false}, {"parallel", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSynthetic(b, 42, 1200, 100, mode.parallel)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSchedulers compares the bin-packing policies in the
+// cluster substrate, reporting CPU stranding.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for _, sched := range cluster.Schedulers() {
+		b.Run(sched.Name(), func(b *testing.B) {
+			var stranding float64
+			for i := 0; i < b.N; i++ {
+				c := cluster.New("bench", sched)
+				c.AddMachines(32, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+				rng := rand.New(rand.NewSource(88))
+				for t := 0; t < 400; t++ {
+					req := cluster.Usage{
+						CPU:  1 + rng.Float64()*7,
+						RAM:  2 + rng.Float64()*30,
+						Disk: 0.2 + rng.Float64()*2,
+					}
+					id := benchName("t", t)
+					if err := c.Place(cluster.Task{ID: id, Team: "bench", Req: req}); err != nil {
+						break
+					}
+				}
+				stranding = c.Stranding().CPU
+			}
+			b.ReportMetric(stranding, "cpuStranding")
+		})
+	}
+}
+
+// BenchmarkAblationOptimizerVsClock compares the clock auction against
+// the explicitly-optimizing allocators from Section III.C.4's discussion:
+// time per allocation plus the welfare each achieves (reported as the
+// `welfare` metric; the clock trades some of it away for fair uniform
+// prices).
+func BenchmarkAblationOptimizerVsClock(b *testing.B) {
+	build := func() (*core.Auction, []*core.Bid, func() (float64, error)) {
+		rng := rand.New(rand.NewSource(31))
+		reg, bids := sim.SyntheticMarket(rng, 100, 30)
+		reserve := reg.Zero()
+		for i := range reserve {
+			reserve[i] = 0.5
+		}
+		a, err := core.NewAuction(reg, bids, core.Config{
+			Start:  reserve,
+			Policy: core.Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy := func() (float64, error) {
+			r, err := optimize.Greedy(reg, bids, reserve, optimize.TotalSurplus)
+			if err != nil {
+				return 0, err
+			}
+			return r.Welfare, nil
+		}
+		return a, bids, greedy
+	}
+	b.Run("clock", func(b *testing.B) {
+		var welfare float64
+		for i := 0; i < b.N; i++ {
+			a, bids, _ := build()
+			res, err := a.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			reserve := make([]float64, len(res.Prices))
+			for j := range reserve {
+				reserve[j] = 0.5
+			}
+			welfare, err = optimize.EvaluateWelfare(bids, res.Allocations, reserve, optimize.TotalSurplus)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(welfare, "welfare")
+	})
+	b.Run("greedy-optimizer", func(b *testing.B) {
+		var welfare float64
+		for i := 0; i < b.N; i++ {
+			_, _, greedy := build()
+			w, err := greedy()
+			if err != nil {
+				b.Fatal(err)
+			}
+			welfare = w
+		}
+		b.ReportMetric(welfare, "welfare")
+	})
+}
+
+// BenchmarkClockProgression regenerates the clock-progression figure.
+func BenchmarkClockProgression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := sim.ClockProgression(benchConfig(800+int64(i)), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Rounds < 2 {
+			b.Fatal("degenerate clock")
+		}
+	}
+}
+
+// BenchmarkWebSummaryRender measures the market summary render path
+// (Figure 3).
+func BenchmarkWebSummaryRender(b *testing.B) {
+	w, err := sim.NewWorld(benchConfig(700))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.RunAuction(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := w.Exchange.Summary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("empty summary")
+		}
+	}
+}
+
+// benchName formats sweep sub-bench names without fmt (keeps the hot loop
+// allocation-free).
+func benchName(prefix string, n int) string {
+	if n == 0 {
+		return prefix + "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return prefix + string(digits)
+}
+
+var _ = io.Discard // reserved for render benchmarks

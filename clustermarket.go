@@ -1,0 +1,238 @@
+// Package clustermarket is a Go implementation of the market-based
+// resource provisioning system from "Using a Market Economy to Provision
+// Compute Resources Across Planet-wide Clusters" (Stokely, Winget, Keyes,
+// Grimes, Yolken — IPPS/IPDPS 2009).
+//
+// The package re-exports the stable public surface of the internal
+// packages:
+//
+//   - the ascending clock auction (Section III): Bid, Auction,
+//     AuctionConfig, Result, the increment policies, and feasibility
+//     checking against the SYSTEM constraints;
+//   - congestion-weighted reserve pricing (Section IV): the weighting
+//     curves and Pricer;
+//   - the cluster substrate: Fleet, Cluster, Machine, schedulers, quotas;
+//   - the trading platform (Section V): Exchange, product catalog, orders,
+//     billing ledger, market summary, and the web front end;
+//   - the TBBL-style bidding language (Section II) for textual bids.
+//
+// The minimal flow is:
+//
+//	fleet := clustermarket.NewFleet()
+//	...add clusters and machines...
+//	ex, _ := clustermarket.NewExchange(fleet, clustermarket.ExchangeConfig{})
+//	ex.OpenAccount("team-a")
+//	ex.SubmitProduct("team-a", "batch-compute", 10, []string{"r1", "r2"}, 400)
+//	record, result, _ := ex.RunAuction()
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// mapping between the paper's sections and the implementation.
+package clustermarket
+
+import (
+	"clustermarket/internal/bidlang"
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/market"
+	"clustermarket/internal/optimize"
+	"clustermarket/internal/reserve"
+	"clustermarket/internal/resource"
+	"clustermarket/internal/webui"
+)
+
+// Resource model (Section II).
+type (
+	// Dimension is a resource type (CPU, RAM, Disk, Network).
+	Dimension = resource.Dimension
+	// Pool is one divisible resource pool: a (cluster, dimension) pair.
+	Pool = resource.Pool
+	// Registry assigns dense indices to the pools of one market.
+	Registry = resource.Registry
+	// Vector is an R-component quantity or price vector.
+	Vector = resource.Vector
+)
+
+// Resource dimensions.
+const (
+	CPU     = resource.CPU
+	RAM     = resource.RAM
+	Disk    = resource.Disk
+	Network = resource.Network
+)
+
+// NewRegistry returns a registry over the given pools.
+func NewRegistry(pools ...Pool) *Registry { return resource.NewRegistry(pools...) }
+
+// NewStandardRegistry crosses the clusters with CPU, RAM, and Disk.
+func NewStandardRegistry(clusters ...string) *Registry {
+	return resource.NewStandardRegistry(clusters...)
+}
+
+// Clock auction (Section III).
+type (
+	// Bid is a sealed bid B_u = {Q_u, π_u}.
+	Bid = core.Bid
+	// Auction runs the ascending clock of Algorithm 1.
+	Auction = core.Auction
+	// AuctionConfig parameterizes a clock auction run.
+	AuctionConfig = core.Config
+	// AuctionResult is the settled outcome.
+	AuctionResult = core.Result
+	// IncrementPolicy is the price update rule g(x, p).
+	IncrementPolicy = core.IncrementPolicy
+	// SystemViolation is one violated SYSTEM constraint.
+	SystemViolation = core.SystemViolation
+)
+
+// Increment policies from Section III.C.2.
+type (
+	// Additive is g = α·z⁺.
+	Additive = core.Additive
+	// Capped is the paper's Equation (3): g = min(α·z⁺, δe).
+	Capped = core.Capped
+	// Proportional caps steps at a fraction of the current price.
+	Proportional = core.Proportional
+	// CostNormalized scales steps by each pool's base cost.
+	CostNormalized = core.CostNormalized
+)
+
+// ErrNoConvergence reports a clock auction that hit its round limit.
+var ErrNoConvergence = core.ErrNoConvergence
+
+// NewAuction validates bids and builds an auction.
+func NewAuction(reg *Registry, bids []*Bid, cfg AuctionConfig) (*Auction, error) {
+	return core.NewAuction(reg, bids, cfg)
+}
+
+// CheckSystem verifies an outcome against the SYSTEM constraints (1)–(6)
+// of Section III.B.
+func CheckSystem(bids []*Bid, res *AuctionResult, eps float64) []SystemViolation {
+	return core.CheckSystem(bids, res, eps)
+}
+
+// Premium computes γ_u (Equation 5, Section V.C).
+func Premium(limit, payment float64) float64 { return core.Premium(limit, payment) }
+
+// Reserve pricing (Section IV).
+type (
+	// WeightFn maps utilization to a price multiple.
+	WeightFn = reserve.WeightFn
+	// ReservePricer computes p̃ = φ(ψ)·c.
+	ReservePricer = reserve.Pricer
+)
+
+// The Figure 2 weighting curves.
+var (
+	ExpSteep   = reserve.ExpSteep
+	ExpMild    = reserve.ExpMild
+	Hyperbolic = reserve.Hyperbolic
+)
+
+// NewReservePricer builds a pricer with the given weighting curve.
+func NewReservePricer(fn WeightFn) *ReservePricer { return reserve.NewPricer(fn) }
+
+// Cluster substrate.
+type (
+	// Fleet is the planet-wide set of clusters plus the quota ledger.
+	Fleet = cluster.Fleet
+	// Cluster is a named pool of machines.
+	Cluster = cluster.Cluster
+	// Machine is one host.
+	Machine = cluster.Machine
+	// Usage is a quantity across CPU/RAM/Disk.
+	Usage = cluster.Usage
+	// Task is one schedulable unit.
+	Task = cluster.Task
+	// Scheduler places tasks on machines.
+	Scheduler = cluster.Scheduler
+)
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet { return cluster.NewFleet() }
+
+// NewCluster returns an empty cluster with the given scheduler (nil
+// selects first-fit).
+func NewCluster(name string, s Scheduler) *Cluster { return cluster.New(name, s) }
+
+// Trading platform (Section V).
+type (
+	// Exchange is the trading platform.
+	Exchange = market.Exchange
+	// ExchangeConfig parameterizes it.
+	ExchangeConfig = market.Config
+	// Order is one submitted bid or offer.
+	Order = market.Order
+	// AuctionRecord summarizes one settled market auction.
+	AuctionRecord = market.AuctionRecord
+	// ClusterSummary is one market-summary row (Figure 3).
+	ClusterSummary = market.ClusterSummary
+	// Product is a catalog entry for two-step bid entry (Figure 4).
+	Product = market.Product
+)
+
+// NewExchange wires an exchange to a fleet.
+func NewExchange(f *Fleet, cfg ExchangeConfig) (*Exchange, error) {
+	return market.NewExchange(f, cfg)
+}
+
+// NewWebUI returns the trading platform's HTTP handler (Figures 3–5).
+func NewWebUI(ex *Exchange) *webui.Server { return webui.New(ex) }
+
+// Explicitly-optimizing allocation (Section III.C.4 / VI future work).
+type (
+	// Objective selects what the optimizing allocator maximizes.
+	Objective = optimize.Objective
+	// OptimizedResult is an optimizer outcome settled at reserve prices.
+	OptimizedResult = optimize.Result
+)
+
+// Optimizer objectives from Section III.B.
+const (
+	TotalSurplus    = optimize.TotalSurplus
+	TotalTradeValue = optimize.TotalTradeValue
+)
+
+// OptimizeGreedy computes a welfare-oriented allocation directly, without
+// price discovery. See the package documentation for why the paper's
+// system uses the clock auction instead.
+func OptimizeGreedy(reg *Registry, bids []*Bid, reserve Vector, obj Objective) (*OptimizedResult, error) {
+	return optimize.Greedy(reg, bids, reserve, obj)
+}
+
+// OptimizeExact computes the welfare-optimal allocation by branch and
+// bound; limited to small instances.
+func OptimizeExact(reg *Registry, bids []*Bid, reserve Vector, obj Objective) (*OptimizedResult, error) {
+	return optimize.Exact(reg, bids, reserve, obj)
+}
+
+// EvaluateWelfare scores any allocation (for instance a clock auction's)
+// under an optimizer objective.
+func EvaluateWelfare(bids []*Bid, allocations []Vector, reserve Vector, obj Objective) (float64, error) {
+	return optimize.EvaluateWelfare(bids, allocations, reserve, obj)
+}
+
+// UnfairnessReport counts the SYSTEM fairness constraints (3)–(5) an
+// optimized outcome violates at the given uniform prices.
+func UnfairnessReport(bids []*Bid, res *OptimizedResult, prices Vector) int {
+	return optimize.UnfairnessReport(bids, res, prices)
+}
+
+// Bidding language (Section II).
+
+// ParseBid reads one bid in the TBBL-style text syntax, e.g.
+//
+//	bid "team" limit 120 { oneof { all { r1/cpu:40 r1/ram:96 } all { r2/cpu:40 r2/ram:96 } } }
+func ParseBid(src string) (*bidlang.Bid, error) { return bidlang.Parse(src) }
+
+// ParseBids reads a sequence of bids.
+func ParseBids(src string) ([]*bidlang.Bid, error) { return bidlang.ParseAll(src) }
+
+// CompileBid flattens a parsed bidlang bid into a clock-auction bid
+// against the registry.
+func CompileBid(b *bidlang.Bid, reg *Registry) (*Bid, error) {
+	bundles, err := b.Flatten(reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Bid{User: b.User, Bundles: bundles, Limit: b.Limit}, nil
+}

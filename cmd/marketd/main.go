@@ -1,0 +1,71 @@
+// Command marketd serves the trading-platform web UI (Figures 3–5) over a
+// demo world: a fleet of clusters with skewed utilization and a set of
+// team accounts ready to bid.
+//
+//	marketd -addr :8080 -clusters 8 -seed 42
+//
+// Then browse http://localhost:8080/ for the market summary, /bid to
+// enter bids, and POST /auction/run to settle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/market"
+	"clustermarket/internal/webui"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	clusters := flag.Int("clusters", 8, "number of clusters")
+	machines := flag.Int("machines", 20, "machines per cluster")
+	seed := flag.Int64("seed", 42, "random seed for the demo load")
+	budget := flag.Float64("budget", 10000, "initial budget per team")
+	flag.Parse()
+
+	ex, err := buildDemo(*clusters, *machines, *seed, *budget)
+	if err != nil {
+		log.Fatal("marketd: ", err)
+	}
+	log.Printf("marketd: serving trading platform on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, webui.New(ex)))
+}
+
+func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exchange, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fleet := cluster.NewFleet()
+	for i := 1; i <= clusters; i++ {
+		name := fmt.Sprintf("r%d", i)
+		c := cluster.New(name, nil)
+		c.AddMachines(machines, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := fleet.AddCluster(c); err != nil {
+			return nil, err
+		}
+		// The first cluster always runs hot so the market summary shows
+		// price contrast; a third of the rest join it.
+		var target cluster.Usage
+		if i == 1 || rng.Float64() < 0.33 {
+			target = cluster.Usage{CPU: 0.85, RAM: 0.8, Disk: 0.8}
+		} else {
+			target = cluster.Usage{CPU: 0.25, RAM: 0.3, Disk: 0.2}
+		}
+		if err := fleet.FillToUtilization(rng, name, target); err != nil {
+			return nil, err
+		}
+	}
+	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget})
+	if err != nil {
+		return nil, err
+	}
+	for _, team := range []string{"search", "ads", "maps", "mail", "storage"} {
+		if err := ex.OpenAccount(team); err != nil {
+			return nil, err
+		}
+	}
+	return ex, nil
+}

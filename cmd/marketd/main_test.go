@@ -1,0 +1,64 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/webui"
+)
+
+func TestBuildDemo(t *testing.T) {
+	ex, err := buildDemo(4, 6, 42, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ex.Teams()); got != 5 {
+		t.Fatalf("teams = %d", got)
+	}
+	if got := ex.Registry().Len(); got != 12 {
+		t.Fatalf("pools = %d", got)
+	}
+	// The demo fleet must contain both hot and cold clusters so the
+	// summary page shows contrast.
+	rows, err := ex.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, cold bool
+	for _, r := range rows {
+		if r.Utilization.CPU >= 0.7 {
+			hot = true
+		}
+		if r.Utilization.CPU <= 0.4 {
+			cold = true
+		}
+	}
+	if !hot || !cold {
+		t.Errorf("demo lacks load contrast: hot=%v cold=%v", hot, cold)
+	}
+
+	// The demo exchange serves the web UI end to end.
+	ts := httptest.NewServer(webui.New(ex))
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "Market summary") {
+		t.Error("summary page missing title")
+	}
+}
+
+func TestBuildDemoBadInputs(t *testing.T) {
+	// Zero clusters yields an exchange error (no pools).
+	if _, err := buildDemo(0, 4, 1, 100); err == nil {
+		t.Error("zero clusters accepted")
+	}
+}

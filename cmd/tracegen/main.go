@@ -1,0 +1,104 @@
+// Command tracegen emits a synthetic bid population in the bidding
+// language, suitable for piping into auctionsim:
+//
+//	tracegen -seed 7 -teams 40 -clusters 8 | auctionsim
+//
+// Utilization is synthesized per cluster (a configurable fraction of
+// clusters is congested) so the population contains both bids and offers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+	"clustermarket/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	teams := flag.Int("teams", 40, "number of teams")
+	clusters := flag.Int("clusters", 8, "number of clusters")
+	hot := flag.Float64("hot", 0.35, "fraction of congested clusters")
+	rounds := flag.Int("rounds", 1, "bid rounds to generate (later rounds are more sophisticated)")
+	flag.Parse()
+
+	if err := run(os.Stdout, *seed, *teams, *clusters, *hot, *rounds); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, seed int64, teams, clusters int, hot float64, rounds int) error {
+	names := make([]string, clusters)
+	for i := range names {
+		names[i] = fmt.Sprintf("r%d", i+1)
+	}
+	reg := resource.NewStandardRegistry(names...)
+	gen, err := trace.New(trace.Config{Seed: seed, Clusters: names, Teams: teams}, reg)
+	if err != nil {
+		return err
+	}
+
+	// Synthesize utilization: the first `hot` fraction of clusters is
+	// congested.
+	rng := rand.New(rand.NewSource(seed + 100))
+	util := reg.Zero()
+	for i := 0; i < reg.Len(); i++ {
+		if float64(i/3)/float64(clusters) < hot {
+			util[i] = 0.8 + rng.Float64()*0.15
+		} else {
+			util[i] = 0.15 + rng.Float64()*0.3
+		}
+	}
+	ref := reg.Zero()
+	for i := range ref {
+		ref[i] = 1.0
+	}
+
+	for round := 0; round < rounds; round++ {
+		bids, err := gen.Generate(trace.RoundInput{Utilization: util, ReferencePrices: ref})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "# round %d: %d bids\n", round+1, len(bids))
+		for _, gb := range bids {
+			fmt.Fprint(w, renderBid(reg, gb.Bid))
+		}
+	}
+	return nil
+}
+
+// renderBid prints a core bid in the bidding-language syntax.
+func renderBid(reg *resource.Registry, b *core.Bid) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bid %q limit %g {\n", b.User, b.Limit)
+	if len(b.Bundles) > 1 {
+		sb.WriteString("  oneof {\n")
+	}
+	for _, bundle := range b.Bundles {
+		indent := "  "
+		if len(b.Bundles) > 1 {
+			indent = "    "
+		}
+		sb.WriteString(indent + "all {")
+		for i, q := range bundle {
+			if q == 0 {
+				continue
+			}
+			p := reg.Pool(i)
+			fmt.Fprintf(&sb, " %s/%s:%g", p.Cluster, strings.ToLower(p.Dim.String()), q)
+		}
+		sb.WriteString(" }\n")
+	}
+	if len(b.Bundles) > 1 {
+		sb.WriteString("  }\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

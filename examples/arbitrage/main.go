@@ -1,0 +1,98 @@
+// Arbitrage: reproduces the Section V.C observation that sophisticated
+// teams exploit price differentials between clusters — selling holdings
+// where the market is expensive and rebuying where it is cheap, pocketing
+// the spread. Run with:
+//
+//	go run ./examples/arbitrage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	cm "clustermarket"
+)
+
+func main() {
+	fleet := cm.NewFleet()
+	rng := rand.New(rand.NewSource(11))
+	for _, spec := range []struct {
+		name   string
+		target cm.Usage
+	}{
+		{"pricey", cm.Usage{CPU: 0.88, RAM: 0.85, Disk: 0.85}},
+		{"cheap", cm.Usage{CPU: 0.2, RAM: 0.2, Disk: 0.15}},
+	} {
+		c := cm.NewCluster(spec.name, nil)
+		c.AddMachines(25, cm.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := fleet.AddCluster(c); err != nil {
+			log.Fatal(err)
+		}
+		if err := fleet.FillToUtilization(rng, spec.name, spec.target); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ex, err := cm.NewExchange(fleet, cm.ExchangeConfig{InitialBudget: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, team := range []string{"trader", "grower"} {
+		if err := ex.OpenAccount(team); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reg := ex.Registry()
+
+	// The trader owns 40 CPU / 100 RAM / 5 Disk in the pricey cluster
+	// (given as quota) and places a single trade bundle: sell there, buy
+	// the equivalent in the cheap cluster. Its limit of −100 says "only
+	// if the swap nets me at least 100 dollars".
+	fleet.Quotas().Grant("trader", "pricey", cm.Usage{CPU: 40, RAM: 100, Disk: 5})
+	swap := reg.Zero()
+	set := func(cluster string, d cm.Dimension, q float64) {
+		swap[reg.MustIndex(cm.Pool{Cluster: cluster, Dim: d})] += q
+	}
+	set("pricey", cm.CPU, -40)
+	set("pricey", cm.RAM, -100)
+	set("pricey", cm.Disk, -5)
+	set("cheap", cm.CPU, 40)
+	set("cheap", cm.RAM, 100)
+	set("cheap", cm.Disk, 5)
+	trade := &cm.Bid{User: "trader/swap", Bundles: []cm.Vector{swap}, Limit: -100}
+	if _, err := ex.Submit("trader", trade); err != nil {
+		log.Fatal(err)
+	}
+
+	// A growing team bids for capacity in the pricey cluster — it is the
+	// demand that makes the trader's sale valuable.
+	grow := reg.Zero()
+	set2 := func(d cm.Dimension, q float64) {
+		grow[reg.MustIndex(cm.Pool{Cluster: "pricey", Dim: d})] = q
+	}
+	set2(cm.CPU, 50)
+	set2(cm.RAM, 120)
+	set2(cm.Disk, 6)
+	if _, err := ex.Submit("grower", &cm.Bid{User: "grower", Bundles: []cm.Vector{grow}, Limit: 2500}); err != nil {
+		log.Fatal(err)
+	}
+
+	before, _ := ex.Balance("trader")
+	rec, _, err := ex.RunAuction()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := ex.Balance("trader")
+
+	fmt.Printf("auction settled in %d rounds; %d/%d orders filled\n",
+		rec.Rounds, rec.Settled, rec.Submitted)
+	for _, o := range ex.Orders() {
+		fmt.Printf("  %-12s %-5s payment %8.2f\n", o.Bid.User, o.Status, o.Payment)
+	}
+	fmt.Printf("trader balance: %.2f -> %.2f (profit %.2f from the cluster price spread)\n",
+		before, after, after-before)
+	fmt.Printf("trader quota after swap: pricey=%v cheap=%v\n",
+		fleet.Quotas().Granted("trader", "pricey"),
+		fleet.Quotas().Granted("trader", "cheap"))
+	fmt.Println("\"an increasing sophistication towards arbitrage opportunities\" (Section V.C)")
+}

@@ -1,0 +1,62 @@
+// Webmarket: serves the trading-platform web UI (Figures 3–5) over a
+// small demo world and seeds it with a few open orders so the market
+// summary has content. Run with:
+//
+//	go run ./examples/webmarket
+//
+// then open http://localhost:8080/.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+
+	cm "clustermarket"
+)
+
+func main() {
+	fleet := cm.NewFleet()
+	rng := rand.New(rand.NewSource(3))
+	targets := []cm.Usage{
+		{CPU: 0.9, RAM: 0.85, Disk: 0.85},
+		{CPU: 0.6, RAM: 0.55, Disk: 0.5},
+		{CPU: 0.3, RAM: 0.25, Disk: 0.2},
+		{CPU: 0.12, RAM: 0.1, Disk: 0.1},
+	}
+	for i, target := range targets {
+		name := fmt.Sprintf("r%d", i+1)
+		c := cm.NewCluster(name, nil)
+		c.AddMachines(16, cm.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := fleet.AddCluster(c); err != nil {
+			log.Fatal(err)
+		}
+		if err := fleet.FillToUtilization(rng, name, target); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ex, err := cm.NewExchange(fleet, cm.ExchangeConfig{InitialBudget: 8000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, team := range []string{"search", "ads", "maps"} {
+		if err := ex.OpenAccount(team); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Seed some open interest so the summary page shows activity.
+	if _, err := ex.SubmitProduct("search", "bigtable-node", 6, []string{"r3", "r4"}, 800); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ex.SubmitProduct("ads", "serving-frontend", 20, []string{"r2", "r3"}, 600); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ex.SubmitProduct("maps", "gfs-storage", 15, []string{"r4"}, 500); err != nil {
+		log.Fatal(err)
+	}
+
+	addr := ":8080"
+	fmt.Printf("webmarket: open http://localhost%s/ (bid entry at /bid; POST /auction/run settles)\n", addr)
+	log.Fatal(http.ListenAndServe(addr, cm.NewWebUI(ex)))
+}

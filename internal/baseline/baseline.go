@@ -1,0 +1,241 @@
+// Package baseline implements the traditional, non-market provisioning
+// mechanisms the paper's introduction criticizes, used as comparison
+// points: first-come-first-served grants at a fixed price, operator-ranked
+// priority quotas, and proportional sharing. Their characteristic failure
+// — "uneven utilization, significant shortages and surpluses in certain
+// resource pools" — is what the market experiments measure against.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"clustermarket/internal/resource"
+	"clustermarket/internal/stats"
+)
+
+// Request is one team's quota request under a traditional allocator. The
+// demand vector is non-negative and names specific pools — unlike market
+// bids there is no substitution, because a centrally administered quota
+// process has no mechanism for expressing it.
+type Request struct {
+	Team   string
+	Demand resource.Vector
+	// Priority is the operator-assigned importance used by ManualQuota
+	// (bigger is more important).
+	Priority float64
+}
+
+// Validate checks the request against registry size r.
+func (q *Request) Validate(r int) error {
+	if q.Team == "" {
+		return errors.New("baseline: request has empty team")
+	}
+	if len(q.Demand) != r {
+		return fmt.Errorf("baseline: request %q has %d components, want %d", q.Team, len(q.Demand), r)
+	}
+	if err := q.Demand.Validate(); err != nil {
+		return err
+	}
+	if !q.Demand.AllNonNegative(0) {
+		return fmt.Errorf("baseline: request %q has negative demand", q.Team)
+	}
+	return nil
+}
+
+// Outcome reports what an allocator granted.
+type Outcome struct {
+	// Allocations[i] is what request i received (nil when fully denied).
+	Allocations []resource.Vector
+	// Granted is the aggregate allocation per pool.
+	Granted resource.Vector
+	// Unmet is the aggregate unserved demand per pool (the shortage).
+	Unmet resource.Vector
+	// Surplus is the capacity left over per pool.
+	Surplus resource.Vector
+}
+
+// ShortageRate returns total unmet demand divided by total demand, the
+// headline shortage statistic.
+func (o *Outcome) ShortageRate() float64 {
+	demand := o.Granted.Add(o.Unmet)
+	tot := demand.Sum()
+	if tot <= 0 {
+		return 0
+	}
+	return o.Unmet.Sum() / tot
+}
+
+// SurplusRate returns total leftover capacity divided by total capacity.
+func (o *Outcome) SurplusRate() float64 {
+	capacity := o.Granted.Add(o.Surplus)
+	tot := capacity.Sum()
+	if tot <= 0 {
+		return 0
+	}
+	return o.Surplus.Sum() / tot
+}
+
+// UtilizationSpread returns the coefficient of variation of per-pool
+// utilization after the grant — the "uneven utilization" measure.
+func (o *Outcome) UtilizationSpread() float64 {
+	var utils []float64
+	for i := range o.Granted {
+		capacity := o.Granted[i] + o.Surplus[i]
+		if capacity > 0 {
+			utils = append(utils, o.Granted[i]/capacity)
+		}
+	}
+	return stats.CoefficientOfVariation(utils)
+}
+
+// Allocator grants requests against fixed capacity.
+type Allocator interface {
+	Name() string
+	// Allocate serves the requests against capacity (per-pool,
+	// non-negative). Implementations must not overcommit any pool.
+	Allocate(capacity resource.Vector, reqs []Request) (*Outcome, error)
+}
+
+func validateInputs(capacity resource.Vector, reqs []Request) error {
+	if len(reqs) == 0 {
+		return errors.New("baseline: no requests")
+	}
+	if !capacity.AllNonNegative(0) {
+		return errors.New("baseline: negative capacity")
+	}
+	for i := range reqs {
+		if err := reqs[i].Validate(len(capacity)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newOutcome(n, r int, capacity resource.Vector) *Outcome {
+	return &Outcome{
+		Allocations: make([]resource.Vector, n),
+		Granted:     make(resource.Vector, r),
+		Unmet:       make(resource.Vector, r),
+		Surplus:     capacity.Clone(),
+	}
+}
+
+// grantWhole gives request i its full demand if it fits in the remaining
+// surplus, otherwise records the whole demand as unmet.
+func (o *Outcome) grantWhole(i int, demand resource.Vector) {
+	fits := true
+	for j, q := range demand {
+		if q > o.Surplus[j] {
+			fits = false
+			break
+		}
+	}
+	if !fits {
+		o.Unmet.AddInto(demand)
+		return
+	}
+	o.Allocations[i] = demand.Clone()
+	o.Granted.AddInto(demand)
+	for j, q := range demand {
+		o.Surplus[j] -= q
+	}
+}
+
+// FixedPrice is the paper's "former fixed price" regime: requests are
+// served in arrival order (all-or-nothing) until pools run dry. Price
+// plays no rationing role, so popular pools develop shortages while
+// unpopular ones sit idle.
+type FixedPrice struct{}
+
+// Name implements Allocator.
+func (FixedPrice) Name() string { return "fixed-price-fcfs" }
+
+// Allocate implements Allocator.
+func (FixedPrice) Allocate(capacity resource.Vector, reqs []Request) (*Outcome, error) {
+	if err := validateInputs(capacity, reqs); err != nil {
+		return nil, err
+	}
+	o := newOutcome(len(reqs), len(capacity), capacity)
+	for i := range reqs {
+		o.grantWhole(i, reqs[i].Demand)
+	}
+	return o, nil
+}
+
+// ManualQuota models the operator deciding that "certain jobs / users are
+// more important than others": requests are served in descending priority
+// order, ties broken by team name for determinism.
+type ManualQuota struct{}
+
+// Name implements Allocator.
+func (ManualQuota) Name() string { return "manual-priority-quota" }
+
+// Allocate implements Allocator.
+func (ManualQuota) Allocate(capacity resource.Vector, reqs []Request) (*Outcome, error) {
+	if err := validateInputs(capacity, reqs); err != nil {
+		return nil, err
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := reqs[order[a]], reqs[order[b]]
+		if ra.Priority != rb.Priority {
+			return ra.Priority > rb.Priority
+		}
+		return ra.Team < rb.Team
+	})
+	o := newOutcome(len(reqs), len(capacity), capacity)
+	for _, i := range order {
+		o.grantWhole(i, reqs[i].Demand)
+	}
+	return o, nil
+}
+
+// ProportionalShare scales every request down by a common factor just
+// large enough that no pool is overcommitted — the "equal share"
+// alternative from the introduction. Everyone gets something, nobody gets
+// what they actually need in congested pools.
+type ProportionalShare struct{}
+
+// Name implements Allocator.
+func (ProportionalShare) Name() string { return "proportional-share" }
+
+// Allocate implements Allocator.
+func (ProportionalShare) Allocate(capacity resource.Vector, reqs []Request) (*Outcome, error) {
+	if err := validateInputs(capacity, reqs); err != nil {
+		return nil, err
+	}
+	r := len(capacity)
+	total := make(resource.Vector, r)
+	for i := range reqs {
+		total.AddInto(reqs[i].Demand)
+	}
+	scale := 1.0
+	for j := 0; j < r; j++ {
+		if total[j] > capacity[j] && total[j] > 0 {
+			if s := capacity[j] / total[j]; s < scale {
+				scale = s
+			}
+		}
+	}
+	o := newOutcome(len(reqs), r, capacity)
+	for i := range reqs {
+		grant := reqs[i].Demand.Scale(scale)
+		o.Allocations[i] = grant
+		o.Granted.AddInto(grant)
+		o.Unmet.AddInto(reqs[i].Demand.Sub(grant))
+		for j, q := range grant {
+			o.Surplus[j] -= q
+		}
+	}
+	return o, nil
+}
+
+// Allocators lists the baseline mechanisms in a stable order.
+func Allocators() []Allocator {
+	return []Allocator{FixedPrice{}, ManualQuota{}, ProportionalShare{}}
+}

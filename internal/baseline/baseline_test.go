@@ -1,0 +1,212 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clustermarket/internal/resource"
+)
+
+func TestRequestValidate(t *testing.T) {
+	good := Request{Team: "a", Demand: resource.Vector{1, 0}}
+	if err := good.Validate(2); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	bad := []Request{
+		{Team: "", Demand: resource.Vector{1}},
+		{Team: "a", Demand: resource.Vector{1, 2}},
+		{Team: "a", Demand: resource.Vector{-1}},
+		{Team: "a", Demand: resource.Vector{math.NaN()}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(1); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestFixedPriceFCFS(t *testing.T) {
+	capacity := resource.Vector{10, 10}
+	reqs := []Request{
+		{Team: "first", Demand: resource.Vector{6, 0}},
+		{Team: "second", Demand: resource.Vector{6, 0}}, // does not fit
+		{Team: "third", Demand: resource.Vector{3, 3}},  // fits in the rest
+	}
+	o, err := (FixedPrice{}).Allocate(capacity, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Allocations[0] == nil || o.Allocations[1] != nil || o.Allocations[2] == nil {
+		t.Fatalf("allocations = %v", o.Allocations)
+	}
+	if o.Unmet[0] != 6 {
+		t.Errorf("Unmet = %v", o.Unmet)
+	}
+	if o.Surplus[0] != 1 || o.Surplus[1] != 7 {
+		t.Errorf("Surplus = %v", o.Surplus)
+	}
+}
+
+func TestManualQuotaPriorityOrder(t *testing.T) {
+	capacity := resource.Vector{10}
+	reqs := []Request{
+		{Team: "low", Demand: resource.Vector{6}, Priority: 1},
+		{Team: "high", Demand: resource.Vector{6}, Priority: 9},
+	}
+	o, err := (ManualQuota{}).Allocate(capacity, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Allocations[0] != nil {
+		t.Error("low priority served first")
+	}
+	if o.Allocations[1] == nil {
+		t.Error("high priority denied")
+	}
+}
+
+func TestManualQuotaTieBreaksByName(t *testing.T) {
+	capacity := resource.Vector{6}
+	reqs := []Request{
+		{Team: "zeta", Demand: resource.Vector{6}, Priority: 5},
+		{Team: "alpha", Demand: resource.Vector{6}, Priority: 5},
+	}
+	o, err := (ManualQuota{}).Allocate(capacity, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Allocations[1] == nil || o.Allocations[0] != nil {
+		t.Errorf("tie break wrong: %v", o.Allocations)
+	}
+}
+
+func TestProportionalShare(t *testing.T) {
+	capacity := resource.Vector{10, 100}
+	reqs := []Request{
+		{Team: "a", Demand: resource.Vector{10, 0}},
+		{Team: "b", Demand: resource.Vector{10, 10}},
+	}
+	// Pool 0 is oversubscribed 2×, so everything scales by 0.5.
+	o, err := (ProportionalShare{}).Allocate(capacity, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Allocations[0][0] != 5 || o.Allocations[1][0] != 5 || o.Allocations[1][1] != 5 {
+		t.Fatalf("allocations = %v", o.Allocations)
+	}
+	if got := o.Unmet.Sum(); got != 15 {
+		t.Errorf("Unmet sum = %v", got)
+	}
+}
+
+func TestProportionalShareNoScalingWhenFits(t *testing.T) {
+	capacity := resource.Vector{10}
+	reqs := []Request{{Team: "a", Demand: resource.Vector{4}}}
+	o, err := (ProportionalShare{}).Allocate(capacity, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Allocations[0][0] != 4 || o.Surplus[0] != 6 {
+		t.Errorf("outcome = %+v", o)
+	}
+}
+
+func TestOutcomeRates(t *testing.T) {
+	o := &Outcome{
+		Granted: resource.Vector{8, 0},
+		Unmet:   resource.Vector{2, 0},
+		Surplus: resource.Vector{0, 10},
+	}
+	if got := o.ShortageRate(); got != 0.2 {
+		t.Errorf("ShortageRate = %v", got)
+	}
+	if got := o.SurplusRate(); math.Abs(got-10.0/18.0) > 1e-12 {
+		t.Errorf("SurplusRate = %v", got)
+	}
+	// Pool 0 fully used, pool 1 idle: spread is the CV of {1, 0} = 1.
+	if got := o.UtilizationSpread(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("UtilizationSpread = %v", got)
+	}
+	empty := &Outcome{Granted: resource.Vector{0}, Unmet: resource.Vector{0}, Surplus: resource.Vector{0}}
+	if empty.ShortageRate() != 0 || empty.SurplusRate() != 0 {
+		t.Error("degenerate rates nonzero")
+	}
+}
+
+func TestAllocateInputValidation(t *testing.T) {
+	for _, a := range Allocators() {
+		if _, err := a.Allocate(resource.Vector{1}, nil); err == nil {
+			t.Errorf("%s: empty requests accepted", a.Name())
+		}
+		if _, err := a.Allocate(resource.Vector{-1}, []Request{{Team: "a", Demand: resource.Vector{1}}}); err == nil {
+			t.Errorf("%s: negative capacity accepted", a.Name())
+		}
+		if _, err := a.Allocate(resource.Vector{1}, []Request{{Team: "", Demand: resource.Vector{1}}}); err == nil {
+			t.Errorf("%s: invalid request accepted", a.Name())
+		}
+	}
+}
+
+func TestAllocatorNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Allocators() {
+		if a.Name() == "" {
+			t.Error("unnamed allocator")
+		}
+		seen[a.Name()] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("names collide: %v", seen)
+	}
+}
+
+// TestQuickNoOvercommitAndConservation: for every allocator, granted
+// quantities never exceed capacity per pool, and granted + unmet equals
+// total demand.
+func TestQuickNoOvercommitAndConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := rng.Intn(5) + 1
+		capacity := make(resource.Vector, r)
+		for i := range capacity {
+			capacity[i] = float64(rng.Intn(50))
+		}
+		n := rng.Intn(12) + 1
+		reqs := make([]Request, n)
+		totalDemand := make(resource.Vector, r)
+		for i := range reqs {
+			d := make(resource.Vector, r)
+			for j := range d {
+				d[j] = float64(rng.Intn(20))
+			}
+			reqs[i] = Request{Team: string(rune('a' + i)), Demand: d, Priority: float64(rng.Intn(5))}
+			totalDemand.AddInto(d)
+		}
+		for _, a := range Allocators() {
+			o, err := a.Allocate(capacity, reqs)
+			if err != nil {
+				return false
+			}
+			for j := range capacity {
+				if o.Granted[j] > capacity[j]+1e-9 {
+					return false
+				}
+				if o.Surplus[j] < -1e-9 {
+					return false
+				}
+				if math.Abs(o.Granted[j]+o.Unmet[j]-totalDemand[j]) > 1e-9 {
+					return false
+				}
+				if math.Abs(o.Granted[j]+o.Surplus[j]-capacity[j]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package bidlang implements a tree-based bidding language in the spirit
+// of TBBL (Parkes et al., "ICE: an iterative combinatorial exchange"),
+// which the paper cites as the model for its bid entry format (Section
+// II). A bid names a user, a scalar limit π (maximum payment if positive,
+// minimum receipt if negative), and a tree of nodes:
+//
+//	leaf      one (pool, quantity) pair; negative quantities are offers
+//	all       every child must be taken together (AND)
+//	oneof     exactly one child is taken (XOR)
+//
+// Flattening a tree produces the paper's indifference set Q_u: the XOR
+// list of R-component bundle vectors submitted to the clock auction.
+package bidlang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"clustermarket/internal/resource"
+)
+
+// Node is one node of a bid tree.
+type Node interface {
+	// appendTo renders the node in the canonical text syntax.
+	appendTo(b *strings.Builder, indent int)
+	// bundles expands the node into its alternative quantity maps.
+	bundles(limit int) ([]bundleMap, error)
+}
+
+// bundleMap accumulates quantities per pool while flattening.
+type bundleMap map[resource.Pool]float64
+
+func (m bundleMap) clone() bundleMap {
+	out := make(bundleMap, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (m bundleMap) merge(o bundleMap) {
+	for k, v := range o {
+		m[k] += v
+	}
+}
+
+// Leaf is a quantity of a single resource pool.
+type Leaf struct {
+	Pool resource.Pool
+	Qty  float64
+}
+
+func (l Leaf) appendTo(b *strings.Builder, indent int) {
+	pad(b, indent)
+	fmt.Fprintf(b, "%s/%s:%g\n", l.Pool.Cluster, strings.ToLower(l.Pool.Dim.String()), l.Qty)
+}
+
+func (l Leaf) bundles(limit int) ([]bundleMap, error) {
+	return []bundleMap{{l.Pool: l.Qty}}, nil
+}
+
+// All is the AND combinator: all children are acquired together. XOR
+// children multiply combinatorially.
+type All struct {
+	Children []Node
+}
+
+func (a All) appendTo(b *strings.Builder, indent int) {
+	pad(b, indent)
+	b.WriteString("all {\n")
+	for _, c := range a.Children {
+		c.appendTo(b, indent+1)
+	}
+	pad(b, indent)
+	b.WriteString("}\n")
+}
+
+func (a All) bundles(limit int) ([]bundleMap, error) {
+	acc := []bundleMap{{}}
+	for _, c := range a.Children {
+		alts, err := c.bundles(limit)
+		if err != nil {
+			return nil, err
+		}
+		next := make([]bundleMap, 0, len(acc)*len(alts))
+		for _, base := range acc {
+			for _, alt := range alts {
+				m := base.clone()
+				m.merge(alt)
+				next = append(next, m)
+			}
+		}
+		if len(next) > limit {
+			return nil, fmt.Errorf("bidlang: bundle expansion exceeds limit of %d alternatives", limit)
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// OneOf is the XOR combinator: exactly one child is acquired, matching the
+// paper's "q¹ XOR q² XOR q³ ..." indifference sets.
+type OneOf struct {
+	Children []Node
+}
+
+func (o OneOf) appendTo(b *strings.Builder, indent int) {
+	pad(b, indent)
+	b.WriteString("oneof {\n")
+	for _, c := range o.Children {
+		c.appendTo(b, indent+1)
+	}
+	pad(b, indent)
+	b.WriteString("}\n")
+}
+
+func (o OneOf) bundles(limit int) ([]bundleMap, error) {
+	var acc []bundleMap
+	for _, c := range o.Children {
+		alts, err := c.bundles(limit)
+		if err != nil {
+			return nil, err
+		}
+		acc = append(acc, alts...)
+		if len(acc) > limit {
+			return nil, fmt.Errorf("bidlang: bundle expansion exceeds limit of %d alternatives", limit)
+		}
+	}
+	return acc, nil
+}
+
+// Bid is a complete bid: a user, a limit price π, and the requirement tree.
+type Bid struct {
+	User  string
+	Limit float64
+	Root  Node
+}
+
+// MaxBundles bounds flattening so a hostile or mistaken bid tree cannot
+// explode combinatorially (an All over k OneOf nodes multiplies
+// alternatives).
+const MaxBundles = 4096
+
+// Flatten expands the bid tree into the XOR set of bundle vectors over the
+// registry's pools. Every pool mentioned in the tree must be registered.
+// Bundles that collapse to the zero vector are dropped; duplicate bundles
+// are merged.
+func (b *Bid) Flatten(reg *resource.Registry) ([]resource.Vector, error) {
+	if b.Root == nil {
+		return nil, fmt.Errorf("bidlang: bid %q has no requirement tree", b.User)
+	}
+	maps, err := b.Root.bundles(MaxBundles)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []resource.Vector
+	for _, m := range maps {
+		v := reg.Zero()
+		for pool, qty := range m {
+			i, ok := reg.Index(pool)
+			if !ok {
+				return nil, fmt.Errorf("bidlang: bid %q references unregistered pool %v", b.User, pool)
+			}
+			v[i] += qty
+		}
+		if v.IsZero() {
+			continue
+		}
+		key := reg.Format(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bidlang: bid %q flattens to no non-empty bundles", b.User)
+	}
+	return out, nil
+}
+
+// Pools returns the sorted distinct pools mentioned anywhere in the tree.
+func (b *Bid) Pools() []resource.Pool {
+	set := make(map[resource.Pool]bool)
+	collectPools(b.Root, set)
+	out := make([]resource.Pool, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cluster != out[j].Cluster {
+			return out[i].Cluster < out[j].Cluster
+		}
+		return out[i].Dim < out[j].Dim
+	})
+	return out
+}
+
+func collectPools(n Node, set map[resource.Pool]bool) {
+	switch v := n.(type) {
+	case Leaf:
+		set[v.Pool] = true
+	case All:
+		for _, c := range v.Children {
+			collectPools(c, set)
+		}
+	case OneOf:
+		for _, c := range v.Children {
+			collectPools(c, set)
+		}
+	}
+}
+
+// String renders the bid in the canonical text syntax accepted by Parse.
+func (b *Bid) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bid %q limit %g {\n", b.User, b.Limit)
+	if b.Root != nil {
+		b.Root.appendTo(&sb, 1)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func pad(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("  ")
+	}
+}

@@ -1,0 +1,135 @@
+package bidlang
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"clustermarket/internal/resource"
+)
+
+// jsonNode is the wire representation of a bid tree node. Exactly one of
+// the three shapes must be populated: a leaf (Pool+Qty), an All list, or a
+// OneOf list.
+type jsonNode struct {
+	Pool  string     `json:"pool,omitempty"`
+	Qty   float64    `json:"qty,omitempty"`
+	All   []jsonNode `json:"all,omitempty"`
+	OneOf []jsonNode `json:"oneof,omitempty"`
+}
+
+type jsonBid struct {
+	User  string   `json:"user"`
+	Limit float64  `json:"limit"`
+	Node  jsonNode `json:"node"`
+}
+
+// MarshalJSON renders the bid in the documented wire format.
+func (b *Bid) MarshalJSON() ([]byte, error) {
+	n, err := toJSONNode(b.Root)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonBid{User: b.User, Limit: b.Limit, Node: n})
+}
+
+// UnmarshalJSON parses the documented wire format.
+func (b *Bid) UnmarshalJSON(data []byte) error {
+	var jb jsonBid
+	if err := json.Unmarshal(data, &jb); err != nil {
+		return err
+	}
+	root, err := fromJSONNode(jb.Node)
+	if err != nil {
+		return err
+	}
+	b.User = jb.User
+	b.Limit = jb.Limit
+	b.Root = root
+	return nil
+}
+
+func toJSONNode(n Node) (jsonNode, error) {
+	switch v := n.(type) {
+	case Leaf:
+		return jsonNode{
+			Pool: v.Pool.Cluster + "/" + strings.ToLower(v.Pool.Dim.String()),
+			Qty:  v.Qty,
+		}, nil
+	case All:
+		out := jsonNode{}
+		for _, c := range v.Children {
+			jc, err := toJSONNode(c)
+			if err != nil {
+				return jsonNode{}, err
+			}
+			out.All = append(out.All, jc)
+		}
+		return out, nil
+	case OneOf:
+		out := jsonNode{}
+		for _, c := range v.Children {
+			jc, err := toJSONNode(c)
+			if err != nil {
+				return jsonNode{}, err
+			}
+			out.OneOf = append(out.OneOf, jc)
+		}
+		return out, nil
+	case nil:
+		return jsonNode{}, fmt.Errorf("bidlang: nil node")
+	default:
+		return jsonNode{}, fmt.Errorf("bidlang: unknown node type %T", n)
+	}
+}
+
+func fromJSONNode(j jsonNode) (Node, error) {
+	populated := 0
+	if j.Pool != "" {
+		populated++
+	}
+	if len(j.All) > 0 {
+		populated++
+	}
+	if len(j.OneOf) > 0 {
+		populated++
+	}
+	if populated != 1 {
+		return nil, fmt.Errorf("bidlang: JSON node must have exactly one of pool, all, oneof")
+	}
+	switch {
+	case j.Pool != "":
+		slash := strings.IndexByte(j.Pool, '/')
+		if slash < 0 {
+			return nil, fmt.Errorf("bidlang: bad pool %q, want cluster/dim", j.Pool)
+		}
+		dim, err := resource.ParseDimension(j.Pool[slash+1:])
+		if err != nil {
+			return nil, err
+		}
+		if j.Qty == 0 {
+			return nil, fmt.Errorf("bidlang: leaf %q has zero quantity", j.Pool)
+		}
+		return Leaf{Pool: resource.Pool{Cluster: j.Pool[:slash], Dim: dim}, Qty: j.Qty}, nil
+	case len(j.All) > 0:
+		var children []Node
+		for _, c := range j.All {
+			n, err := fromJSONNode(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, n)
+		}
+		return All{Children: children}, nil
+	default:
+		var children []Node
+		for _, c := range j.OneOf {
+			n, err := fromJSONNode(c)
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, n)
+		}
+		return OneOf{Children: children}, nil
+	}
+}

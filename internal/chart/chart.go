@@ -1,0 +1,275 @@
+// Package chart renders the experiment figures as plain-text charts so the
+// benchmark harness can regenerate every figure from the paper on a
+// terminal: multi-series line plots (Figure 2), labelled horizontal bar
+// charts (Figure 6), Tukey boxplot panels (Figure 7), and aligned tables
+// (Table I).
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"clustermarket/internal/stats"
+)
+
+// Series is one named line on a line plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// LinePlot renders the series on a width×height character grid with axis
+// labels. Series are distinguished by marker characters in legend order.
+func LinePlot(title string, width, height int, series ...Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	markers := []byte{'*', '+', 'o', 'x', '#', '@'}
+
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			xlo, xhi = math.Min(xlo, s.X[i]), math.Max(xhi, s.X[i])
+			ylo, yhi = math.Min(ylo, s.Y[i]), math.Max(yhi, s.Y[i])
+		}
+	}
+	if math.IsInf(xlo, 1) || xhi == xlo {
+		xlo, xhi = 0, 1
+	}
+	if math.IsInf(ylo, 1) || yhi == ylo {
+		ylo, yhi = 0, 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			c := int(float64(width-1) * (s.X[i] - xlo) / (xhi - xlo))
+			r := int(float64(height-1) * (s.Y[i] - ylo) / (yhi - ylo))
+			row := height - 1 - r
+			if row >= 0 && row < height && c >= 0 && c < width {
+				grid[row][c] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", yhi)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", ylo)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.2f%*.2f\n", xlo, width-10, xhi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// Bar is one labelled value on a horizontal bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to maxWidth characters. A
+// reference line can be drawn at ref (for Figure 6 the former fixed-price
+// ratio 1.0); pass NaN to omit it.
+func BarChart(title string, maxWidth int, ref float64, bars []Bar) string {
+	if maxWidth < 10 {
+		maxWidth = 10
+	}
+	hi := 0.0
+	for _, b := range bars {
+		if b.Value > hi {
+			hi = b.Value
+		}
+	}
+	if !math.IsNaN(ref) && ref > hi {
+		hi = ref
+	}
+	if hi == 0 {
+		hi = 1
+	}
+
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	refCol := -1
+	if !math.IsNaN(ref) {
+		refCol = int(float64(maxWidth) * ref / hi)
+	}
+	for _, b := range bars {
+		n := int(float64(maxWidth) * b.Value / hi)
+		if n < 0 {
+			n = 0
+		}
+		row := []byte(strings.Repeat("=", n) + strings.Repeat(" ", maxWidth-n+1))
+		if refCol >= 0 && refCol < len(row) {
+			if row[refCol] == ' ' {
+				row[refCol] = '|'
+			} else {
+				row[refCol] = '+'
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s %s %7.3f\n", labelW, b.Label, strings.TrimRight(string(row), " "), b.Value)
+	}
+	return sb.String()
+}
+
+// BoxGroup is one labelled boxplot column.
+type BoxGroup struct {
+	Label string
+	Box   stats.Boxplot
+}
+
+// BoxplotChart renders the groups side by side on a vertical axis spanning
+// [lo, hi], mirroring the layout of Figure 7 (one column per
+// dimension × side combination).
+func BoxplotChart(title string, height int, lo, hi float64, groups []BoxGroup) string {
+	if height < 8 {
+		height = 8
+	}
+	colW := 12
+	for _, g := range groups {
+		if len(g.Label)+2 > colW {
+			colW = len(g.Label) + 2
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	rowOf := func(v float64) int {
+		r := int(math.Round(float64(height-1) * (v - lo) / span))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", colW*len(groups)))
+	}
+	for gi, g := range groups {
+		center := gi*colW + colW/2
+		put := func(row int, s string) {
+			start := center - len(s)/2
+			for i := 0; i < len(s); i++ {
+				c := start + i
+				if row >= 0 && row < height && c >= 0 && c < len(grid[row]) {
+					grid[row][c] = s[i]
+				}
+			}
+		}
+		b := g.Box
+		for r := rowOf(b.HighWhisker); r < rowOf(b.Q3); r++ {
+			put(r, "|")
+		}
+		for r := rowOf(b.Q1) + 1; r <= rowOf(b.LowWhisker); r++ {
+			put(r, "|")
+		}
+		put(rowOf(b.HighWhisker), "---")
+		put(rowOf(b.LowWhisker), "---")
+		put(rowOf(b.Q3), "+---+")
+		put(rowOf(b.Q1), "+---+")
+		put(rowOf(b.Median), "|===|")
+		for _, o := range b.Outliers {
+			put(rowOf(o), "o")
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", lo)
+		}
+		fmt.Fprintf(&sb, "%s|%s\n", label, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&sb, "        +%s\n", strings.Repeat("-", colW*len(groups)))
+	fmt.Fprintf(&sb, "         ")
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "%-*s", colW, centerText(g.Label, colW))
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func centerText(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// Table renders rows as an aligned text table with a header row and a
+// separator, in the style of the paper's Table I.
+func Table(title string, header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

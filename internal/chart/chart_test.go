@@ -1,0 +1,149 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/stats"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	s := Series{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}}
+	out := LinePlot("test plot", 40, 10, s)
+	if !strings.Contains(out, "test plot") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "linear") {
+		t.Error("missing legend entry")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestLinePlotMultipleSeriesMarkers(t *testing.T) {
+	a := Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}}
+	b := Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}}
+	out := LinePlot("two", 30, 8, a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("expected distinct markers:\n%s", out)
+	}
+}
+
+func TestLinePlotDegenerateInput(t *testing.T) {
+	// No series, and a constant series: both must render without panics.
+	if out := LinePlot("empty", 5, 2); out == "" {
+		t.Error("empty plot rendered nothing")
+	}
+	c := Series{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}
+	if out := LinePlot("flat", 20, 6, c); !strings.Contains(out, "flat") {
+		t.Error("flat plot missing legend")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	bars := []Bar{{"r1/CPU", 2.0}, {"r2/CPU", 0.5}, {"r3/CPU", 1.0}}
+	out := BarChart("ratios", 40, 1.0, bars)
+	if !strings.Contains(out, "ratios") || !strings.Contains(out, "r1/CPU") {
+		t.Error("missing title or labels")
+	}
+	// The largest bar must be longer than the smallest.
+	var longest, shortest int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "=")
+		if strings.Contains(line, "r1/CPU") {
+			longest = n
+		}
+		if strings.Contains(line, "r2/CPU") {
+			shortest = n
+		}
+	}
+	if longest <= shortest {
+		t.Errorf("bar lengths wrong: longest=%d shortest=%d\n%s", longest, shortest, out)
+	}
+	// Reference line must appear.
+	if !strings.ContainsAny(out, "|+") {
+		t.Error("missing reference line")
+	}
+}
+
+func TestBarChartNoRef(t *testing.T) {
+	out := BarChart("n", 20, math.NaN(), []Bar{{"x", 1}})
+	if strings.Contains(out, "|") {
+		t.Errorf("unexpected reference line:\n%s", out)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("z", 20, math.NaN(), []Bar{{"x", 0}, {"y", 0}})
+	if !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Error("labels missing for zero-valued bars")
+	}
+}
+
+func TestBoxplotChart(t *testing.T) {
+	box1, err := stats.NewBoxplot([]float64{10, 20, 30, 40, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	box2, err := stats.NewBoxplot([]float64{60, 70, 80, 90, 95, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BoxplotChart("fig7", 16, 0, 100, []BoxGroup{
+		{Label: "CPU Bids", Box: box1},
+		{Label: "CPU Offers", Box: box2},
+	})
+	for _, want := range []string{"fig7", "CPU Bids", "CPU Offers", "|===|", "+---+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The outlier 5 in box2 should be drawn as 'o'.
+	if !strings.Contains(out, "o") {
+		t.Errorf("missing outlier marker:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table("Table I", []string{"Auction", "Median", "Mean"}, [][]string{
+		{"1", "0.0092", "0.0614"},
+		{"2", "0.0025", "0.2078"},
+	})
+	if !strings.Contains(out, "Table I") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Auction") || !strings.Contains(out, "0.0025") {
+		t.Error("missing header or cell")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Separator row of dashes.
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("missing separator: %q", lines[2])
+	}
+}
+
+func TestTableEmptyTitleAndRows(t *testing.T) {
+	out := Table("", []string{"A"}, nil)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("want header+separator, got %d lines", len(lines))
+	}
+}
+
+func TestCenterText(t *testing.T) {
+	if got := centerText("ab", 6); got != "  ab" {
+		t.Errorf("centerText = %q", got)
+	}
+	if got := centerText("abcdef", 3); got != "abc" {
+		t.Errorf("centerText truncation = %q", got)
+	}
+}

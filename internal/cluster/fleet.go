@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"clustermarket/internal/resource"
+)
+
+// Fleet is the planet-wide collection of clusters plus the per-team quota
+// ledger the market settles into. It is the bridge between the economic
+// layer (pool-indexed vectors) and the physical layer (machines).
+type Fleet struct {
+	clusters map[string]*Cluster
+	order    []string
+	quotas   *QuotaLedger
+	// EnforceQuotas makes ScheduleTask reject placements that would
+	// exceed the team's granted quota in any dimension.
+	EnforceQuotas bool
+	nextTask      int
+}
+
+// NewFleet returns an empty fleet.
+func NewFleet() *Fleet {
+	return &Fleet{
+		clusters: make(map[string]*Cluster),
+		quotas:   NewQuotaLedger(),
+	}
+}
+
+// AddCluster registers a cluster; duplicate names are rejected.
+func (f *Fleet) AddCluster(c *Cluster) error {
+	if _, ok := f.clusters[c.Name]; ok {
+		return fmt.Errorf("cluster: duplicate cluster %q", c.Name)
+	}
+	f.clusters[c.Name] = c
+	f.order = append(f.order, c.Name)
+	return nil
+}
+
+// Cluster returns the named cluster, or nil.
+func (f *Fleet) Cluster(name string) *Cluster { return f.clusters[name] }
+
+// ClusterNames returns the cluster names in registration order.
+func (f *Fleet) ClusterNames() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Quotas exposes the fleet's quota ledger.
+func (f *Fleet) Quotas() *QuotaLedger { return f.quotas }
+
+// Registry builds the standard pool registry (every cluster × CPU, RAM,
+// Disk) for this fleet.
+func (f *Fleet) Registry() *resource.Registry {
+	return resource.NewStandardRegistry(f.order...)
+}
+
+// UtilizationVector returns ψ(r) for every pool in reg, pulling from the
+// owning cluster's live utilization. Pools for unknown clusters read 0.
+func (f *Fleet) UtilizationVector(reg *resource.Registry) resource.Vector {
+	out := reg.Zero()
+	for i := 0; i < reg.Len(); i++ {
+		p := reg.Pool(i)
+		if c, ok := f.clusters[p.Cluster]; ok {
+			out[i] = c.Utilization().Get(p.Dim)
+		}
+	}
+	return out
+}
+
+// CapacityVector returns total capacity per pool.
+func (f *Fleet) CapacityVector(reg *resource.Registry) resource.Vector {
+	out := reg.Zero()
+	for i := 0; i < reg.Len(); i++ {
+		p := reg.Pool(i)
+		if c, ok := f.clusters[p.Cluster]; ok {
+			out[i] = c.Capacity().Get(p.Dim)
+		}
+	}
+	return out
+}
+
+// FreeVector returns uncommitted capacity per pool.
+func (f *Fleet) FreeVector(reg *resource.Registry) resource.Vector {
+	out := reg.Zero()
+	for i := 0; i < reg.Len(); i++ {
+		p := reg.Pool(i)
+		if c, ok := f.clusters[p.Cluster]; ok {
+			out[i] = c.Capacity().Get(p.Dim) - c.Used().Get(p.Dim)
+		}
+	}
+	return out
+}
+
+// CostVector returns the operator's per-unit cost c(r) per pool.
+func (f *Fleet) CostVector(reg *resource.Registry) resource.Vector {
+	out := reg.Zero()
+	for i := 0; i < reg.Len(); i++ {
+		p := reg.Pool(i)
+		if c, ok := f.clusters[p.Cluster]; ok {
+			out[i] = c.UnitCost.Get(p.Dim)
+		}
+	}
+	return out
+}
+
+// ScheduleTask places a task for a team in the named cluster, enforcing
+// quotas when enabled. The generated task ID is returned.
+func (f *Fleet) ScheduleTask(team, clusterName string, req Usage) (string, error) {
+	c, ok := f.clusters[clusterName]
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown cluster %q", clusterName)
+	}
+	if f.EnforceQuotas {
+		used := c.TeamUsage()[team]
+		want := used.Add(req)
+		granted := f.quotas.Granted(team, clusterName)
+		if !want.FitsWithin(granted) {
+			return "", fmt.Errorf("cluster: team %q quota exceeded in %s: want %v, granted %v",
+				team, clusterName, want, granted)
+		}
+	}
+	id := fmt.Sprintf("task-%d", f.nextTask)
+	f.nextTask++
+	if err := c.Place(Task{ID: id, Team: team, Req: req}); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// FillToUtilization packs synthetic background tasks into the cluster
+// until every dimension reaches at least the target fraction (or no task
+// fits). It is how experiments establish the skewed pre-auction loads the
+// paper's Figures 6 and 7 start from. Task shapes are drawn from rng.
+func (f *Fleet) FillToUtilization(rng *rand.Rand, clusterName string, target Usage) error {
+	c, ok := f.clusters[clusterName]
+	if !ok {
+		return fmt.Errorf("cluster: unknown cluster %q", clusterName)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		u := c.Utilization()
+		need := Usage{
+			CPU:  target.CPU - u.CPU,
+			RAM:  target.RAM - u.RAM,
+			Disk: target.Disk - u.Disk,
+		}
+		if need.CPU <= 0 && need.RAM <= 0 && need.Disk <= 0 {
+			return nil
+		}
+		req := Usage{}
+		if need.CPU > 0 {
+			req.CPU = 1 + rng.Float64()*3
+		}
+		if need.RAM > 0 {
+			req.RAM = 2 + rng.Float64()*6
+		}
+		if need.Disk > 0 {
+			req.Disk = 0.5 + rng.Float64()*1.5
+		}
+		if req.IsZero() {
+			return nil
+		}
+		if _, err := f.ScheduleTask("background", clusterName, req); err != nil {
+			// The packing is full in some dimension; good enough.
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: FillToUtilization(%s) did not terminate", clusterName)
+}
+
+// QuotaLedger tracks granted quota per (team, cluster). Grants are
+// per-dimension Usage values; trades from auction settlement adjust them.
+type QuotaLedger struct {
+	grants map[string]map[string]Usage // team → cluster → quota
+}
+
+// NewQuotaLedger returns an empty ledger.
+func NewQuotaLedger() *QuotaLedger {
+	return &QuotaLedger{grants: make(map[string]map[string]Usage)}
+}
+
+// Grant adds (or, with negative deltas, removes) quota. The resulting
+// quota is clamped at zero per dimension.
+func (l *QuotaLedger) Grant(team, cluster string, delta Usage) {
+	byCluster, ok := l.grants[team]
+	if !ok {
+		byCluster = make(map[string]Usage)
+		l.grants[team] = byCluster
+	}
+	g := byCluster[cluster].Add(delta)
+	if g.CPU < 0 {
+		g.CPU = 0
+	}
+	if g.RAM < 0 {
+		g.RAM = 0
+	}
+	if g.Disk < 0 {
+		g.Disk = 0
+	}
+	byCluster[cluster] = g
+}
+
+// Granted returns the team's quota in the cluster (zero Usage when none).
+func (l *QuotaLedger) Granted(team, cluster string) Usage {
+	return l.grants[team][cluster]
+}
+
+// Teams lists teams holding any quota, sorted.
+func (l *QuotaLedger) Teams() []string {
+	out := make([]string, 0, len(l.grants))
+	for t := range l.grants {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalGranted sums quotas across teams for one cluster.
+func (l *QuotaLedger) TotalGranted(cluster string) Usage {
+	var total Usage
+	for _, byCluster := range l.grants {
+		total = total.Add(byCluster[cluster])
+	}
+	return total
+}
+
+// ApplyAllocation translates a settled auction allocation vector into
+// quota adjustments: positive components grant quota, negative components
+// (sold resources) remove it.
+func (l *QuotaLedger) ApplyAllocation(reg *resource.Registry, team string, alloc resource.Vector) {
+	for i, q := range alloc {
+		if q == 0 {
+			continue
+		}
+		p := reg.Pool(i)
+		var delta Usage
+		delta = delta.Set(p.Dim, q)
+		l.Grant(team, p.Cluster, delta)
+	}
+}

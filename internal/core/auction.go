@@ -1,0 +1,327 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clustermarket/internal/resource"
+)
+
+// ErrNoConvergence is returned when the clock exceeds Config.MaxRounds.
+// Section III.C.3 shows markets with traders can cycle forever; the guard
+// converts that theoretical hazard into a reportable error.
+var ErrNoConvergence = errors.New("core: clock auction did not converge")
+
+// Config parameterizes one clock auction run.
+type Config struct {
+	// Start is p̃, the starting/reserve price vector. Section IV derives
+	// it from utilization; it must be componentwise ≥ 0.
+	Start resource.Vector
+	// Policy is the price update function g(x, p). Nil selects
+	// DefaultPolicy.
+	Policy IncrementPolicy
+	// Epsilon is the tolerance for the stopping test z(t) ≤ ε. Markets
+	// with divisible supply rarely clear exactly; a small positive ε
+	// mirrors the paper's observation that supplies and demands rarely
+	// "align" perfectly.
+	Epsilon float64
+	// MaxRounds bounds the clock. Zero selects a generous default.
+	MaxRounds int
+	// Parallel evaluates bidder proxies on all CPUs each round. The
+	// reduction order is fixed, so results are identical to serial runs.
+	Parallel bool
+	// RecordHistory retains per-round snapshots in Result.History.
+	RecordHistory bool
+}
+
+// DefaultMaxRounds bounds auctions that were not given an explicit limit.
+const DefaultMaxRounds = 100000
+
+// Round is one snapshot of the price clock.
+type Round struct {
+	T             int
+	Prices        resource.Vector
+	ExcessDemand  resource.Vector
+	ActiveBidders int
+}
+
+// Result is the auction outcome: final uniform prices, per-bid
+// allocations x_u, and payments x_uᵀp.
+type Result struct {
+	// Converged is false only when MaxRounds was hit; in that case the
+	// remaining fields describe the state at the final round.
+	Converged bool
+	Rounds    int
+	// Prices is the final price vector p.
+	Prices resource.Vector
+	// Allocations[i] is x_u for bids[i]; nil when the bid lost.
+	Allocations []resource.Vector
+	// Payments[i] is x_uᵀp; negative values are amounts received by
+	// sellers. Zero for losers.
+	Payments []float64
+	// Winners and Losers are bid indices, in input order.
+	Winners []int
+	Losers  []int
+	// DropRound[i] is the round at which bid i left the auction, or −1 if
+	// it was active at the end.
+	DropRound []int
+	// History holds per-round snapshots when Config.RecordHistory is set.
+	History []Round
+}
+
+// IsWinner reports whether bid i won.
+func (r *Result) IsWinner(i int) bool { return r.Allocations[i] != nil }
+
+// TotalTraded returns the sum over winners of the positive parts of their
+// allocations: the gross quantity of resources that changed hands (the
+// "total value of trade" numerator in Section III.B, in units).
+func (r *Result) TotalTraded() resource.Vector {
+	if len(r.Allocations) == 0 {
+		return nil
+	}
+	var out resource.Vector
+	for _, x := range r.Allocations {
+		if x == nil {
+			continue
+		}
+		if out == nil {
+			out = make(resource.Vector, len(x))
+		}
+		out.AddInto(x.PositivePart())
+	}
+	return out
+}
+
+// Auction couples a registry, the sealed bids, and a configuration.
+type Auction struct {
+	reg     *resource.Registry
+	bids    []*Bid
+	proxies []*Proxy
+	cfg     Config
+}
+
+// NewAuction validates the inputs and prepares proxies. Bids are held by
+// reference; they must not be mutated during Run.
+func NewAuction(reg *resource.Registry, bids []*Bid, cfg Config) (*Auction, error) {
+	if reg == nil || reg.Len() == 0 {
+		return nil, errors.New("core: auction needs a non-empty registry")
+	}
+	if len(bids) == 0 {
+		return nil, errors.New("core: auction needs at least one bid")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = DefaultPolicy()
+	}
+	if err := validatePolicy(cfg.Policy); err != nil {
+		return nil, err
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.Epsilon < 0 {
+		return nil, errors.New("core: negative epsilon")
+	}
+	if len(cfg.Start) != reg.Len() {
+		return nil, fmt.Errorf("core: start prices have %d components, registry has %d pools", len(cfg.Start), reg.Len())
+	}
+	if err := cfg.Start.Validate(); err != nil {
+		return nil, fmt.Errorf("core: start prices: %v", err)
+	}
+	if !cfg.Start.AllNonNegative(0) {
+		return nil, errors.New("core: start prices must be nonnegative")
+	}
+	proxies := make([]*Proxy, len(bids))
+	for i, b := range bids {
+		if err := b.Validate(reg.Len()); err != nil {
+			return nil, err
+		}
+		proxies[i] = NewProxy(b)
+	}
+	return &Auction{reg: reg, bids: bids, proxies: proxies, cfg: cfg}, nil
+}
+
+// Bids returns the auction's bids in input order.
+func (a *Auction) Bids() []*Bid { return a.bids }
+
+// Classes tallies the bidder classes, used to predict convergence per
+// Section III.C.3.
+func (a *Auction) Classes() (buyers, sellers, traders int) {
+	for _, b := range a.bids {
+		switch b.Class() {
+		case PureBuyer:
+			buyers++
+		case PureSeller:
+			sellers++
+		default:
+			traders++
+		}
+	}
+	return
+}
+
+// ConvergenceGuaranteed reports whether the Section III.C.3 sufficient
+// condition holds: every participant is a pure buyer or a pure seller.
+func (a *Auction) ConvergenceGuaranteed() bool {
+	_, _, traders := a.Classes()
+	return traders == 0
+}
+
+// Run executes Algorithm 1: collect proxy demands, stop when excess
+// demand is nonpositive, otherwise raise prices and repeat. On
+// non-convergence it returns ErrNoConvergence together with the partial
+// Result for diagnosis.
+func (a *Auction) Run() (*Result, error) {
+	p := a.cfg.Start.Clone()
+	// choices[i] is the bundle index demanded by proxy i this round, or
+	// −1 when priced out. Working with indices keeps the round loop on
+	// the sparse fast path.
+	choices := make([]int, len(a.proxies))
+	res := &Result{
+		DropRound: make([]int, len(a.bids)),
+	}
+	for i := range res.DropRound {
+		res.DropRound[i] = -1
+	}
+
+	for t := 0; t < a.cfg.MaxRounds; t++ {
+		active := a.collect(p, choices)
+		z := a.reg.Zero()
+		for i, c := range choices {
+			if c >= 0 {
+				a.proxies[i].sparse[c].addInto(z)
+			} else if res.DropRound[i] < 0 {
+				res.DropRound[i] = t
+			}
+		}
+		if a.cfg.RecordHistory {
+			res.History = append(res.History, Round{
+				T:             t,
+				Prices:        p.Clone(),
+				ExcessDemand:  z.Clone(),
+				ActiveBidders: active,
+			})
+		}
+		if z.AllNonPositive(a.cfg.Epsilon) {
+			res.Converged = true
+			res.Rounds = t + 1
+			a.settle(res, p, choices)
+			return res, nil
+		}
+		step := a.cfg.Policy.Step(z, p)
+		if !step.AllNonNegative(0) {
+			return nil, fmt.Errorf("core: policy %s produced a negative step", a.cfg.Policy.Name())
+		}
+		if step.MaxAbs() == 0 {
+			// The policy refused to move despite excess demand; without
+			// progress the loop would spin forever.
+			return nil, fmt.Errorf("core: policy %s stalled with positive excess demand at round %d", a.cfg.Policy.Name(), t)
+		}
+		p.AddInto(step)
+	}
+
+	res.Converged = false
+	res.Rounds = a.cfg.MaxRounds
+	a.settle(res, p, choices)
+	return res, ErrNoConvergence
+}
+
+// collect evaluates every proxy at prices p into choices, returning the
+// number of active bidders. With cfg.Parallel it fans the loop out over
+// GOMAXPROCS workers; the choices slice is indexed by bidder so the
+// result is deterministic either way.
+func (a *Auction) collect(p resource.Vector, choices []int) int {
+	if !a.cfg.Parallel || len(a.proxies) < 64 {
+		active := 0
+		for i, px := range a.proxies {
+			choices[i] = px.choose(p)
+			if choices[i] >= 0 {
+				active++
+			}
+		}
+		return active
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(a.proxies) {
+		workers = len(a.proxies)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(a.proxies) + workers - 1) / workers
+	counts := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(a.proxies) {
+			hi = len(a.proxies)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			n := 0
+			for i := lo; i < hi; i++ {
+				choices[i] = a.proxies[i].choose(p)
+				if choices[i] >= 0 {
+					n++
+				}
+			}
+			counts[w] = n
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	active := 0
+	for _, n := range counts {
+		active += n
+	}
+	return active
+}
+
+// settle freezes the outcome at final prices: winners receive their
+// demanded bundle and pay its cost; everyone else loses.
+func (a *Auction) settle(res *Result, p resource.Vector, choices []int) {
+	res.Prices = p.Clone()
+	res.Allocations = make([]resource.Vector, len(a.bids))
+	res.Payments = make([]float64, len(a.bids))
+	for i, c := range choices {
+		if c < 0 {
+			res.Losers = append(res.Losers, i)
+			continue
+		}
+		q := a.bids[i].Bundles[c]
+		res.Allocations[i] = q.Clone()
+		res.Payments[i] = a.proxies[i].sparse[c].dot(p)
+		res.Winners = append(res.Winners, i)
+	}
+}
+
+// PriceCeiling returns, for a market of pure buyers and sellers, an upper
+// bound on any pool's final price: the largest per-unit price any buyer
+// can afford at its smallest bundle, plus the starting price. It is the
+// constructive form of the Section III.C.3 convergence argument and is
+// used by the property tests to bound round counts.
+func PriceCeiling(bids []*Bid, start resource.Vector) float64 {
+	ceiling := 0.0
+	for _, b := range bids {
+		if b.Class() != PureBuyer {
+			continue
+		}
+		for _, q := range b.Bundles {
+			minQty := 0.0
+			for _, x := range q {
+				if x > 0 && (minQty == 0 || x < minQty) {
+					minQty = x
+				}
+			}
+			if minQty > 0 {
+				if c := b.Limit / minQty; c > ceiling {
+					ceiling = c
+				}
+			}
+		}
+	}
+	return ceiling + start.MaxAbs()
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"clustermarket/internal/resource"
+)
+
+// IncrementPolicy is the price update function g(x, p) of Algorithm 1: it
+// maps the excess demand vector z and current prices p into a nonnegative
+// additive price step. Section III.C.2 discusses the design space; each
+// implementation below is one of the paper's suggestions and is exercised
+// by the ablation benchmarks.
+type IncrementPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Step returns g(x, p) ≥ 0. Only pools with z > 0 may move.
+	Step(z, p resource.Vector) resource.Vector
+}
+
+// Additive is the simplest choice g(x, p) = α·z⁺. The paper notes it moves
+// too fast early and too slow late.
+type Additive struct {
+	// Alpha is the small positive scalar α.
+	Alpha float64
+}
+
+// Name implements IncrementPolicy.
+func (a Additive) Name() string { return fmt.Sprintf("additive(α=%g)", a.Alpha) }
+
+// Step implements IncrementPolicy.
+func (a Additive) Step(z, p resource.Vector) resource.Vector {
+	return z.PositivePart().Scale(a.Alpha)
+}
+
+// Capped is the paper's preferred Equation (3): g = min(α·z⁺, δ·e), where
+// e is the all-ones vector, so no price moves by more than δ per round. A
+// MinStep floor guarantees progress when excess demand is tiny.
+type Capped struct {
+	Alpha, Delta float64
+	// MinStep, when positive, is the smallest increment applied to a pool
+	// with positive excess demand. It bounds the number of rounds.
+	MinStep float64
+}
+
+// Name implements IncrementPolicy.
+func (c Capped) Name() string {
+	return fmt.Sprintf("capped(α=%g, δ=%g, min=%g)", c.Alpha, c.Delta, c.MinStep)
+}
+
+// Step implements IncrementPolicy.
+func (c Capped) Step(z, p resource.Vector) resource.Vector {
+	out := make(resource.Vector, len(z))
+	for i, zi := range z {
+		if zi <= 0 {
+			continue
+		}
+		s := c.Alpha * zi
+		if s > c.Delta {
+			s = c.Delta
+		}
+		if s < c.MinStep {
+			s = c.MinStep
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Proportional caps each step at a fraction of the pool's current price,
+// the "no price changes by more than some fixed fraction" reading of
+// Section III.C.2. Base avoids stalling at p = 0.
+type Proportional struct {
+	Alpha, Frac, Base float64
+}
+
+// Name implements IncrementPolicy.
+func (pr Proportional) Name() string {
+	return fmt.Sprintf("proportional(α=%g, frac=%g)", pr.Alpha, pr.Frac)
+}
+
+// Step implements IncrementPolicy.
+func (pr Proportional) Step(z, p resource.Vector) resource.Vector {
+	out := make(resource.Vector, len(z))
+	for i, zi := range z {
+		if zi <= 0 {
+			continue
+		}
+		lim := pr.Frac * p[i]
+		if base := pr.Frac * pr.Base; lim < base {
+			lim = base
+		}
+		s := pr.Alpha * zi
+		if s > lim {
+			s = lim
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// CostNormalized scales increments by each pool's base cost, the paper's
+// "normalization for differences in the base resource prices": a pool
+// whose unit cost is 100× smaller moves 100× more slowly, keeping final
+// prices in proportion.
+type CostNormalized struct {
+	Alpha float64
+	// Cost holds the per-pool base costs c(r); pools with nonpositive
+	// cost fall back to 1.
+	Cost resource.Vector
+	// DeltaFrac caps each step at DeltaFrac·Cost[i].
+	DeltaFrac float64
+}
+
+// Name implements IncrementPolicy.
+func (cn CostNormalized) Name() string {
+	return fmt.Sprintf("cost-normalized(α=%g, δ=%g)", cn.Alpha, cn.DeltaFrac)
+}
+
+// Step implements IncrementPolicy.
+func (cn CostNormalized) Step(z, p resource.Vector) resource.Vector {
+	out := make(resource.Vector, len(z))
+	for i, zi := range z {
+		if zi <= 0 {
+			continue
+		}
+		c := 1.0
+		if i < len(cn.Cost) && cn.Cost[i] > 0 {
+			c = cn.Cost[i]
+		}
+		s := cn.Alpha * zi * c
+		if cap := cn.DeltaFrac * c; s > cap {
+			s = cap
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// DefaultPolicy returns the increment policy used across the experiments:
+// the paper's capped rule with a small floor for guaranteed progress.
+func DefaultPolicy() IncrementPolicy {
+	return Capped{Alpha: 0.02, Delta: 0.25, MinStep: 0.001}
+}
+
+// validatePolicy rejects obviously broken parameterizations early.
+func validatePolicy(p IncrementPolicy) error {
+	switch v := p.(type) {
+	case Additive:
+		if v.Alpha <= 0 {
+			return errors.New("core: Additive.Alpha must be positive")
+		}
+	case Capped:
+		if v.Alpha <= 0 || v.Delta <= 0 {
+			return errors.New("core: Capped.Alpha and Delta must be positive")
+		}
+		if v.MinStep < 0 || v.MinStep > v.Delta {
+			return errors.New("core: Capped.MinStep must be in [0, Delta]")
+		}
+	case Proportional:
+		if v.Alpha <= 0 || v.Frac <= 0 || v.Base <= 0 {
+			return errors.New("core: Proportional parameters must be positive")
+		}
+	case CostNormalized:
+		if v.Alpha <= 0 || v.DeltaFrac <= 0 {
+			return errors.New("core: CostNormalized parameters must be positive")
+		}
+	case nil:
+		return errors.New("core: nil increment policy")
+	}
+	return nil
+}

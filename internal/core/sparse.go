@@ -1,0 +1,40 @@
+package core
+
+import "clustermarket/internal/resource"
+
+// sparseBundle is the packed form of a bundle vector used on the clock's
+// hot path. Real bids touch a handful of pools (one cluster × three
+// dimensions) out of hundreds, so evaluating qᵀp over only the non-zero
+// components turns each auction round from O(U·R) into O(Σ nnz).
+type sparseBundle struct {
+	idx []int32
+	val []float64
+}
+
+// newSparseBundle packs the non-zero components of q.
+func newSparseBundle(q resource.Vector) sparseBundle {
+	var s sparseBundle
+	for i, v := range q {
+		if v != 0 {
+			s.idx = append(s.idx, int32(i))
+			s.val = append(s.val, v)
+		}
+	}
+	return s
+}
+
+// dot computes qᵀp touching only non-zero components.
+func (s sparseBundle) dot(p resource.Vector) float64 {
+	var sum float64
+	for k, i := range s.idx {
+		sum += s.val[k] * p[i]
+	}
+	return sum
+}
+
+// addInto accumulates the bundle into dense vector z.
+func (s sparseBundle) addInto(z resource.Vector) {
+	for k, i := range s.idx {
+		z[i] += s.val[k]
+	}
+}

@@ -1,0 +1,130 @@
+package market
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/cluster"
+)
+
+func TestDisbursementPolicyString(t *testing.T) {
+	for p, want := range map[DisbursementPolicy]string{
+		EqualShares:         "equal-shares",
+		ProportionalToQuota: "proportional-to-quota",
+		ProportionalToUsage: "proportional-to-usage",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", int(p), p.String())
+		}
+	}
+	if !strings.Contains(DisbursementPolicy(9).String(), "9") {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestDisburseEqual(t *testing.T) {
+	e := newTestExchange(t)
+	for _, team := range []string{"a", "b"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Disburse(EqualShares, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, team := range []string{"a", "b"} {
+		bal, _ := e.Balance(team)
+		if bal != 1500 { // 1000 initial + 500 disbursed
+			t.Errorf("%s balance = %v", team, bal)
+		}
+	}
+	if !e.LedgerBalanced(1e-9) {
+		t.Error("ledger unbalanced after disbursement")
+	}
+}
+
+func TestDisburseProportionalToQuota(t *testing.T) {
+	e := newTestExchange(t)
+	for _, team := range []string{"big", "small"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// big holds 3× small's quota (weights use the cost vector).
+	e.Fleet().Quotas().Grant("big", "r1", cluster.Usage{CPU: 30})
+	e.Fleet().Quotas().Grant("small", "r1", cluster.Usage{CPU: 10})
+
+	if err := e.Disburse(ProportionalToQuota, 400); err != nil {
+		t.Fatal(err)
+	}
+	bigBal, _ := e.Balance("big")
+	smallBal, _ := e.Balance("small")
+	if math.Abs((bigBal-1000)-300) > 1e-9 {
+		t.Errorf("big received %v, want 300", bigBal-1000)
+	}
+	if math.Abs((smallBal-1000)-100) > 1e-9 {
+		t.Errorf("small received %v, want 100", smallBal-1000)
+	}
+}
+
+func TestDisburseProportionalToUsage(t *testing.T) {
+	e := newTestExchange(t)
+	for _, team := range []string{"heavy", "idle"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Fleet().ScheduleTask("heavy", "r2", cluster.Usage{CPU: 8, RAM: 16, Disk: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Disburse(ProportionalToUsage, 600); err != nil {
+		t.Fatal(err)
+	}
+	heavyBal, _ := e.Balance("heavy")
+	idleBal, _ := e.Balance("idle")
+	if heavyBal <= idleBal {
+		t.Errorf("heavy (%v) not above idle (%v)", heavyBal, idleBal)
+	}
+	// All 600 went somewhere.
+	if math.Abs((heavyBal-1000)+(idleBal-1000)-600) > 1e-9 {
+		t.Errorf("disbursed total wrong: %v + %v", heavyBal-1000, idleBal-1000)
+	}
+}
+
+func TestDisburseFallsBackToEqualOnZeroWeights(t *testing.T) {
+	e := newTestExchange(t)
+	for _, team := range []string{"a", "b"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nobody holds quota: proportional-to-quota degenerates to equal.
+	if err := e.Disburse(ProportionalToQuota, 200); err != nil {
+		t.Fatal(err)
+	}
+	aBal, _ := e.Balance("a")
+	bBal, _ := e.Balance("b")
+	if aBal != bBal || aBal != 1100 {
+		t.Errorf("balances = %v, %v", aBal, bBal)
+	}
+}
+
+func TestDisburseErrors(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.Disburse(EqualShares, 100); err == nil {
+		t.Error("no accounts accepted")
+	}
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Disburse(EqualShares, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+	if err := e.Disburse(EqualShares, -5); err == nil {
+		t.Error("negative total accepted")
+	}
+	if err := e.Disburse(DisbursementPolicy(42), 100); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

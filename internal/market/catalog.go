@@ -1,0 +1,97 @@
+// Package market implements the trading-platform layer of Section V: a
+// combinatorial exchange where engineering teams with budget dollars
+// submit bids and offers against cluster resource pools, the operator
+// contributes supply at congestion-weighted reserve prices, and periodic
+// clock auctions settle binding prices, quotas, and payments.
+package market
+
+import (
+	"fmt"
+	"sort"
+
+	"clustermarket/internal/cluster"
+)
+
+// Product is a high-level resource product teams reason about, as on the
+// paper's bid entry page (Figure 4): users "first enter requirements in
+// terms of desired cluster resources (such as GFS or Bigtable resources)"
+// and the platform then "displays the covering amount of CPU, RAM, and
+// disk".
+type Product struct {
+	// Name identifies the product, e.g. "gfs-storage".
+	Name string
+	// Unit is the human-facing unit, e.g. "TB".
+	Unit string
+	// PerUnit is the covering low-level resource amount for one unit.
+	PerUnit cluster.Usage
+}
+
+// Cover returns the covering resource amounts for qty units.
+func (p Product) Cover(qty float64) cluster.Usage {
+	return p.PerUnit.Scale(qty)
+}
+
+// Catalog maps product names to definitions.
+type Catalog struct {
+	products map[string]Product
+}
+
+// NewCatalog builds a catalog from the given products.
+func NewCatalog(products ...Product) *Catalog {
+	c := &Catalog{products: make(map[string]Product, len(products))}
+	for _, p := range products {
+		c.products[p.Name] = p
+	}
+	return c
+}
+
+// StandardCatalog returns products shaped like the storage and serving
+// systems the paper names (GFS, Bigtable) plus generic compute: the
+// covering ratios are representative, not Google's actual numbers.
+func StandardCatalog() *Catalog {
+	return NewCatalog(
+		Product{
+			Name: "gfs-storage",
+			Unit: "TB",
+			// A terabyte of replicated GFS storage carries a little CPU
+			// and RAM for the chunkservers.
+			PerUnit: cluster.Usage{CPU: 0.2, RAM: 0.5, Disk: 3.0},
+		},
+		Product{
+			Name: "bigtable-node",
+			Unit: "tablet servers",
+			// A serving node is RAM- and CPU-heavy with a working set on
+			// disk.
+			PerUnit: cluster.Usage{CPU: 4, RAM: 16, Disk: 1.0},
+		},
+		Product{
+			Name:    "batch-compute",
+			Unit:    "workers",
+			PerUnit: cluster.Usage{CPU: 2, RAM: 4, Disk: 0.1},
+		},
+		Product{
+			Name:    "serving-frontend",
+			Unit:    "replicas",
+			PerUnit: cluster.Usage{CPU: 1, RAM: 8, Disk: 0.05},
+		},
+	)
+}
+
+// Lookup returns the named product.
+func (c *Catalog) Lookup(name string) (Product, error) {
+	p, ok := c.products[name]
+	if !ok {
+		return Product{}, fmt.Errorf("market: unknown product %q", name)
+	}
+	return p, nil
+}
+
+// Names returns the product names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.products))
+	for n := range c.products {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

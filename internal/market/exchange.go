@@ -1,0 +1,490 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/reserve"
+	"clustermarket/internal/resource"
+	"clustermarket/internal/stats"
+)
+
+// OperatorAccount is the reserved account name under which the system
+// operator sells spare capacity ("the company itself may be mapped into
+// clock auction participants", Section V.A).
+const OperatorAccount = "operator"
+
+// OrderStatus tracks an order through its life cycle.
+type OrderStatus int
+
+const (
+	// Open orders await the next auction.
+	Open OrderStatus = iota
+	// Won orders settled with an allocation.
+	Won
+	// Lost orders were priced out.
+	Lost
+	// Cancelled orders were withdrawn before settlement.
+	Cancelled
+)
+
+func (s OrderStatus) String() string {
+	switch s {
+	case Open:
+		return "open"
+	case Won:
+		return "won"
+	case Lost:
+		return "lost"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("OrderStatus(%d)", int(s))
+	}
+}
+
+// Order is one submitted bid or offer.
+type Order struct {
+	ID     int
+	Team   string
+	Bid    *core.Bid
+	Status OrderStatus
+	// Auction is the auction number that settled the order (−1 while
+	// open).
+	Auction int
+	// Allocation and Payment are set when the order wins.
+	Allocation resource.Vector
+	Payment    float64
+}
+
+// Side reports whether the order is a pure bid (+1), pure offer (−1), or
+// trade (0), from the bundle directions.
+func (o *Order) Side() int {
+	switch o.Bid.Class() {
+	case core.PureBuyer:
+		return +1
+	case core.PureSeller:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// LedgerEntry is one double-entry billing record.
+type LedgerEntry struct {
+	Seq     int
+	Auction int
+	Team    string
+	// Amount is the balance change (negative = paid out).
+	Amount float64
+	Memo   string
+}
+
+// AuctionRecord summarizes one settled auction for the market front end
+// and the Table I statistics.
+type AuctionRecord struct {
+	Number    int
+	Reserve   resource.Vector
+	Prices    resource.Vector
+	Rounds    int
+	Converged bool
+	// Orders counted at settlement time.
+	Submitted, Settled int
+	// Premiums holds γ_u for each settled order (Equation 5).
+	Premiums []float64
+}
+
+// PremiumMedian returns the median of γ_u for the auction.
+func (a *AuctionRecord) PremiumMedian() float64 { return stats.Median(a.Premiums) }
+
+// PremiumMean returns the mean of γ_u for the auction.
+func (a *AuctionRecord) PremiumMean() float64 { return stats.Mean(a.Premiums) }
+
+// SettledFraction returns the fraction of submitted orders that settled.
+func (a *AuctionRecord) SettledFraction() float64 {
+	if a.Submitted == 0 {
+		return 0
+	}
+	return float64(a.Settled) / float64(a.Submitted)
+}
+
+// Config parameterizes an Exchange.
+type Config struct {
+	// InitialBudget is granted to each newly opened account.
+	InitialBudget float64
+	// Weight is the reserve-pricing curve (default reserve.ExpSteep).
+	Weight reserve.WeightFn
+	// MarketableFraction is the share of each pool's *free* capacity the
+	// operator offers for sale each auction (default 0.8).
+	MarketableFraction float64
+	// Auction tuning; zero values select core defaults.
+	Policy    core.IncrementPolicy
+	Epsilon   float64
+	MaxRounds int
+	Parallel  bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Weight == nil {
+		c.Weight = reserve.ExpSteep
+	}
+	if c.MarketableFraction == 0 {
+		c.MarketableFraction = 0.8
+	}
+	if c.InitialBudget == 0 {
+		c.InitialBudget = 10000
+	}
+}
+
+// Exchange is the trading platform: accounts, an order book, and the
+// periodic clock auction that settles it.
+type Exchange struct {
+	cfg     Config
+	fleet   *cluster.Fleet
+	reg     *resource.Registry
+	catalog *Catalog
+	pricer  *reserve.Pricer
+
+	balances map[string]float64
+	orders   []*Order
+	ledger   []LedgerEntry
+	history  []*AuctionRecord
+	nextID   int
+}
+
+// NewExchange wires an exchange to a fleet. The registry is derived from
+// the fleet's clusters.
+func NewExchange(fleet *cluster.Fleet, cfg Config) (*Exchange, error) {
+	if fleet == nil {
+		return nil, errors.New("market: nil fleet")
+	}
+	cfg.applyDefaults()
+	reg := fleet.Registry()
+	if reg.Len() == 0 {
+		return nil, errors.New("market: fleet has no clusters")
+	}
+	return &Exchange{
+		cfg:      cfg,
+		fleet:    fleet,
+		reg:      reg,
+		catalog:  StandardCatalog(),
+		pricer:   reserve.NewPricer(cfg.Weight),
+		balances: map[string]float64{OperatorAccount: 0},
+	}, nil
+}
+
+// Registry returns the exchange's pool registry.
+func (e *Exchange) Registry() *resource.Registry { return e.reg }
+
+// Catalog returns the product catalog.
+func (e *Exchange) Catalog() *Catalog { return e.catalog }
+
+// Fleet returns the underlying fleet.
+func (e *Exchange) Fleet() *cluster.Fleet { return e.fleet }
+
+// OpenAccount creates a team account with the configured initial budget
+// ("engineering teams were given budget dollars", Section V).
+func (e *Exchange) OpenAccount(team string) error {
+	if team == "" || team == OperatorAccount {
+		return fmt.Errorf("market: invalid team name %q", team)
+	}
+	if _, ok := e.balances[team]; ok {
+		return fmt.Errorf("market: account %q exists", team)
+	}
+	e.balances[team] = e.cfg.InitialBudget
+	return nil
+}
+
+// Balance returns the team's budget balance.
+func (e *Exchange) Balance(team string) (float64, error) {
+	b, ok := e.balances[team]
+	if !ok {
+		return 0, fmt.Errorf("market: no account %q", team)
+	}
+	return b, nil
+}
+
+// Submit places an order for team with the given bid. Buy-side limits
+// must be covered by the team's balance.
+func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
+	bal, ok := e.balances[team]
+	if !ok {
+		return nil, fmt.Errorf("market: no account %q", team)
+	}
+	if bid == nil {
+		return nil, errors.New("market: nil bid")
+	}
+	if bid.User == "" {
+		bid.User = team
+	}
+	if err := bid.Validate(e.reg.Len()); err != nil {
+		return nil, err
+	}
+	if bid.Limit > 0 {
+		committed := e.openBuyCommitment(team)
+		if bid.Limit+committed > bal {
+			return nil, fmt.Errorf("market: %q limit %.2f exceeds available budget %.2f",
+				team, bid.Limit, bal-committed)
+		}
+	}
+	o := &Order{ID: e.nextID, Team: team, Bid: bid, Status: Open, Auction: -1}
+	e.nextID++
+	e.orders = append(e.orders, o)
+	return o, nil
+}
+
+// openBuyCommitment sums the positive limits of the team's open orders.
+func (e *Exchange) openBuyCommitment(team string) float64 {
+	var s float64
+	for _, o := range e.orders {
+		if o.Team == team && o.Status == Open && o.Bid.Limit > 0 {
+			s += o.Bid.Limit
+		}
+	}
+	return s
+}
+
+// SubmitProduct is the two-step bid entry path of Figure 4: the team
+// requests qty units of a catalog product, deployable in any of the named
+// clusters (XOR), with a limit price.
+func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []string, limit float64) (*Order, error) {
+	p, err := e.catalog.Lookup(product)
+	if err != nil {
+		return nil, err
+	}
+	if qty <= 0 {
+		return nil, fmt.Errorf("market: quantity must be positive, got %g", qty)
+	}
+	if len(clusters) == 0 {
+		return nil, errors.New("market: no clusters named")
+	}
+	cover := p.Cover(qty)
+	var bundles []resource.Vector
+	for _, cl := range clusters {
+		v := e.reg.Zero()
+		found := false
+		for _, d := range resource.StandardDimensions {
+			if i, ok := e.reg.Index(resource.Pool{Cluster: cl, Dim: d}); ok {
+				v[i] = cover.Get(d)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("market: unknown cluster %q", cl)
+		}
+		bundles = append(bundles, v)
+	}
+	bid := &core.Bid{User: team + "/" + product, Bundles: bundles, Limit: limit}
+	return e.Submit(team, bid)
+}
+
+// Cancel withdraws an open order.
+func (e *Exchange) Cancel(id int) error {
+	for _, o := range e.orders {
+		if o.ID == id {
+			if o.Status != Open {
+				return fmt.Errorf("market: order %d is %s", id, o.Status)
+			}
+			o.Status = Cancelled
+			return nil
+		}
+	}
+	return fmt.Errorf("market: no order %d", id)
+}
+
+// OpenOrders returns the orders awaiting the next auction.
+func (e *Exchange) OpenOrders() []*Order {
+	var out []*Order
+	for _, o := range e.orders {
+		if o.Status == Open {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Orders returns every order ever submitted.
+func (e *Exchange) Orders() []*Order { return e.orders }
+
+// Ledger returns the billing entries.
+func (e *Exchange) Ledger() []LedgerEntry { return e.ledger }
+
+// History returns the settled auction records.
+func (e *Exchange) History() []*AuctionRecord { return e.history }
+
+// ReservePrices computes the current congestion-weighted reserve price
+// vector p̃ = φ(ψ)·c from live fleet utilization (Section IV).
+func (e *Exchange) ReservePrices() (resource.Vector, error) {
+	util := e.fleet.UtilizationVector(e.reg)
+	cost := e.fleet.CostVector(e.reg)
+	return e.pricer.Prices(e.reg, util, cost)
+}
+
+// operatorSupply builds the operator's sell-side bid: a fraction of each
+// pool's free capacity, with a minimal ask (the reserve prices themselves
+// do the price flooring, since the clock starts there).
+func (e *Exchange) operatorSupply() *core.Bid {
+	free := e.fleet.FreeVector(e.reg)
+	supply := e.reg.Zero()
+	any := false
+	for i, f := range free {
+		q := f * e.cfg.MarketableFraction
+		if q > 0 {
+			supply[i] = -q
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return &core.Bid{User: OperatorAccount, Bundles: []resource.Vector{supply}, Limit: -0.000001}
+}
+
+// assemble maps open orders plus operator supply into clock-auction bids.
+func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
+	open := e.OpenOrders()
+	if len(open) == 0 {
+		return nil, nil, errors.New("market: no open orders")
+	}
+	bids := make([]*core.Bid, 0, len(open)+1)
+	for _, o := range open {
+		bids = append(bids, o.Bid)
+	}
+	if op := e.operatorSupply(); op != nil {
+		bids = append(bids, op)
+	}
+	return bids, open, nil
+}
+
+// PreliminaryPrices runs a non-binding simulation of the clock auction
+// over the current open orders, as the platform does "at periodic
+// intervals during the bid collection phase" (Section V.A), and returns
+// the preliminary settlement prices.
+func (e *Exchange) PreliminaryPrices() (resource.Vector, error) {
+	bids, _, err := e.assemble()
+	if err != nil {
+		return nil, err
+	}
+	start, err := e.ReservePrices()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.NewAuction(e.reg, bids, core.Config{
+		Start:     start,
+		Policy:    e.cfg.Policy,
+		Epsilon:   e.cfg.Epsilon,
+		MaxRounds: e.cfg.MaxRounds,
+		Parallel:  e.cfg.Parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Run()
+	if err != nil {
+		return nil, err
+	}
+	return res.Prices, nil
+}
+
+// RunAuction executes one binding auction over the open orders: it runs
+// the clock, settles payments into accounts and the billing ledger,
+// adjusts fleet quotas, marks orders won/lost, and appends an
+// AuctionRecord. The core result is returned for inspection.
+func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
+	bids, open, err := e.assemble()
+	if err != nil {
+		return nil, nil, err
+	}
+	start, err := e.ReservePrices()
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := core.NewAuction(e.reg, bids, core.Config{
+		Start:     start,
+		Policy:    e.cfg.Policy,
+		Epsilon:   e.cfg.Epsilon,
+		MaxRounds: e.cfg.MaxRounds,
+		Parallel:  e.cfg.Parallel,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, runErr := a.Run()
+	if runErr != nil && res == nil {
+		return nil, nil, runErr
+	}
+
+	num := len(e.history) + 1
+	rec := &AuctionRecord{
+		Number:    num,
+		Reserve:   start,
+		Prices:    res.Prices,
+		Rounds:    res.Rounds,
+		Converged: res.Converged,
+		Submitted: len(open),
+	}
+	// Settle orders (indices in `bids` match `open` for i < len(open)).
+	for i, o := range open {
+		o.Auction = num
+		if !res.IsWinner(i) {
+			o.Status = Lost
+			continue
+		}
+		o.Status = Won
+		o.Allocation = res.Allocations[i]
+		o.Payment = res.Payments[i]
+		rec.Settled++
+		rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.Limit, o.Payment))
+		e.applySettlement(o, num)
+	}
+	// The operator's supply bid exists to inject capacity and anchor the
+	// clock at the reserve prices; its money flow is already captured by
+	// the counterparty credits above (the exchange clears every trade
+	// against the operator account), so no further entry is needed here.
+	e.history = append(e.history, rec)
+	return rec, res, runErr
+}
+
+// applySettlement moves money and quota for one winning order.
+func (e *Exchange) applySettlement(o *Order, auction int) {
+	e.credit(o.Team, -o.Payment, auction, fmt.Sprintf("order %d settlement", o.ID))
+	e.credit(OperatorAccount, o.Payment, auction, fmt.Sprintf("counterparty for order %d", o.ID))
+	e.fleet.Quotas().ApplyAllocation(e.reg, o.Team, o.Allocation)
+}
+
+// credit adjusts a balance and appends a ledger entry.
+func (e *Exchange) credit(team string, amount float64, auction int, memo string) {
+	e.balances[team] += amount
+	e.ledger = append(e.ledger, LedgerEntry{
+		Seq:     len(e.ledger),
+		Auction: auction,
+		Team:    team,
+		Amount:  amount,
+		Memo:    memo,
+	})
+}
+
+// LedgerBalanced reports whether all ledger entries sum to zero (every
+// debit has a matching credit).
+func (e *Exchange) LedgerBalanced(eps float64) bool {
+	var s float64
+	for _, le := range e.ledger {
+		s += le.Amount
+	}
+	return s < eps && s > -eps
+}
+
+// Teams lists the non-operator accounts in sorted order.
+func (e *Exchange) Teams() []string {
+	out := make([]string, 0, len(e.balances))
+	for t := range e.balances {
+		if t != OperatorAccount {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

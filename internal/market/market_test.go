@@ -1,0 +1,551 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+// testFleet builds a two-cluster fleet with r1 congested and r2 idle.
+func testFleet(t *testing.T) *cluster.Fleet {
+	t.Helper()
+	f := cluster.NewFleet()
+	for _, name := range []string{"r1", "r2"} {
+		c := cluster.New(name, nil)
+		c.AddMachines(10, cluster.Usage{CPU: 10, RAM: 20, Disk: 5})
+		if err := f.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	if err := f.FillToUtilization(rng, "r1", cluster.Usage{CPU: 0.85, RAM: 0.85, Disk: 0.85}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.FillToUtilization(rng, "r2", cluster.Usage{CPU: 0.2, RAM: 0.2, Disk: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func newTestExchange(t *testing.T) *Exchange {
+	t.Helper()
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewExchangeValidation(t *testing.T) {
+	if _, err := NewExchange(nil, Config{}); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	if _, err := NewExchange(cluster.NewFleet(), Config{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestAccounts(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("team-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.OpenAccount("team-a"); err == nil {
+		t.Error("duplicate account accepted")
+	}
+	if err := e.OpenAccount(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := e.OpenAccount(OperatorAccount); err == nil {
+		t.Error("operator name accepted")
+	}
+	b, err := e.Balance("team-a")
+	if err != nil || b != 1000 {
+		t.Errorf("Balance = %v, %v", b, err)
+	}
+	if _, err := e.Balance("ghost"); err == nil {
+		t.Error("unknown account accepted")
+	}
+	if teams := e.Teams(); len(teams) != 1 || teams[0] != "team-a" {
+		t.Errorf("Teams = %v", teams)
+	}
+}
+
+func TestReservePricesReflectCongestion(t *testing.T) {
+	e := newTestExchange(t)
+	p, err := e.ReservePrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	hot := p[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})]
+	cold := p[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})]
+	if hot <= cold {
+		t.Errorf("congested reserve %v not above idle %v", hot, cold)
+	}
+	// Congested pool must be above cost (1.0), idle below.
+	if hot <= 1.0 {
+		t.Errorf("congested reserve %v not above cost", hot)
+	}
+	if cold >= 1.0 {
+		t.Errorf("idle reserve %v not below cost", cold)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	mk := func(limit float64) *core.Bid {
+		v := reg.Zero()
+		v[0] = 5
+		return &core.Bid{User: "a", Bundles: []resource.Vector{v}, Limit: limit}
+	}
+	if _, err := e.Submit("ghost", mk(10)); err == nil {
+		t.Error("unknown team accepted")
+	}
+	if _, err := e.Submit("a", nil); err == nil {
+		t.Error("nil bid accepted")
+	}
+	if _, err := e.Submit("a", mk(2000)); err == nil {
+		t.Error("limit above budget accepted")
+	}
+	o, err := e.Submit("a", mk(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Status != Open || o.Side() != +1 {
+		t.Errorf("order = %+v", o)
+	}
+	// A second order may not overcommit the budget across open orders.
+	if _, err := e.Submit("a", mk(600)); err == nil {
+		t.Error("aggregate budget overcommit accepted")
+	}
+	// But a 300 order still fits.
+	if _, err := e.Submit("a", mk(300)); err != nil {
+		t.Errorf("within-budget order rejected: %v", err)
+	}
+}
+
+func TestSubmitProductTwoStep(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("storage-team"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.SubmitProduct("storage-team", "gfs-storage", 10, []string{"r1", "r2"}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Bid.Bundles) != 2 {
+		t.Fatalf("bundles = %d, want one per cluster", len(o.Bid.Bundles))
+	}
+	reg := e.Registry()
+	// 10 TB of gfs-storage covers 2 CPU, 5 RAM, 30 Disk.
+	b := o.Bid.Bundles[0]
+	if got := b[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.Disk})]; got != 30 {
+		t.Errorf("disk covering = %v", got)
+	}
+	if got := b[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})]; got != 2 {
+		t.Errorf("cpu covering = %v", got)
+	}
+
+	// Error paths.
+	if _, err := e.SubmitProduct("storage-team", "no-such", 1, []string{"r1"}, 10); err == nil {
+		t.Error("unknown product accepted")
+	}
+	if _, err := e.SubmitProduct("storage-team", "gfs-storage", 0, []string{"r1"}, 10); err == nil {
+		t.Error("zero quantity accepted")
+	}
+	if _, err := e.SubmitProduct("storage-team", "gfs-storage", 1, nil, 10); err == nil {
+		t.Error("no clusters accepted")
+	}
+	if _, err := e.SubmitProduct("storage-team", "gfs-storage", 1, []string{"mars"}, 10); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(o.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(o.ID); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if err := e.Cancel(999); err == nil {
+		t.Error("unknown order accepted")
+	}
+	if len(e.OpenOrders()) != 0 {
+		t.Error("cancelled order still open")
+	}
+}
+
+func TestRunAuctionSettlement(t *testing.T) {
+	e := newTestExchange(t)
+	for _, team := range []string{"rich", "poor"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both teams want the same block of idle r2 capacity; the operator's
+	// marketable supply (80% of ~80 free CPU = 64) covers one 50-CPU
+	// order but not two.
+	reg := e.Registry()
+	mk := func(user string, limit float64) *core.Bid {
+		v := reg.Zero()
+		v[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})] = 50
+		v[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.RAM})] = 50
+		return &core.Bid{User: user, Bundles: []resource.Vector{v}, Limit: limit}
+	}
+	if _, err := e.Submit("rich", mk("rich", 900)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("poor", mk("poor", 120)); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, res, err := e.RunAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Converged || !res.Converged {
+		t.Fatal("auction did not converge")
+	}
+	if rec.Submitted != 2 || rec.Settled != 1 {
+		t.Fatalf("record = %+v", rec)
+	}
+	orders := e.Orders()
+	var won, lost *Order
+	for _, o := range orders {
+		switch o.Status {
+		case Won:
+			won = o
+		case Lost:
+			lost = o
+		}
+	}
+	if won == nil || won.Team != "rich" {
+		t.Fatalf("winner = %+v", won)
+	}
+	if lost == nil || lost.Team != "poor" {
+		t.Fatalf("loser = %+v", lost)
+	}
+	// Money moved: rich paid, operator received.
+	richBal, _ := e.Balance("rich")
+	if richBal >= 1000 {
+		t.Errorf("rich balance = %v, expected payment deducted", richBal)
+	}
+	poorBal, _ := e.Balance("poor")
+	if poorBal != 1000 {
+		t.Errorf("poor balance = %v, expected untouched", poorBal)
+	}
+	if !e.LedgerBalanced(1e-9) {
+		t.Error("ledger unbalanced")
+	}
+	// Quota granted to the winner.
+	q := e.Fleet().Quotas().Granted("rich", "r2")
+	if q.CPU != 50 || q.RAM != 50 {
+		t.Errorf("quota = %v", q)
+	}
+	// Premium recorded: rich's limit 900, payment should be well below.
+	if len(rec.Premiums) != 1 || rec.Premiums[0] <= 0 {
+		t.Errorf("premiums = %v", rec.Premiums)
+	}
+	if rec.PremiumMedian() != rec.Premiums[0] || rec.PremiumMean() != rec.Premiums[0] {
+		t.Error("premium stats wrong")
+	}
+	if got := rec.SettledFraction(); got != 0.5 {
+		t.Errorf("SettledFraction = %v", got)
+	}
+}
+
+func TestRunAuctionNoOrders(t *testing.T) {
+	e := newTestExchange(t)
+	if _, _, err := e.RunAuction(); err == nil {
+		t.Error("auction with no orders accepted")
+	}
+	if _, err := e.PreliminaryPrices(); err == nil {
+		t.Error("preliminary prices with no orders accepted")
+	}
+}
+
+func TestPreliminaryPricesDoNotSettle(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitProduct("a", "batch-compute", 5, []string{"r2"}, 400); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.PreliminaryPrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != e.Registry().Len() {
+		t.Fatalf("prices len = %d", len(p))
+	}
+	// Order still open, no money moved, no history.
+	if len(e.OpenOrders()) != 1 || len(e.History()) != 0 || len(e.Ledger()) != 0 {
+		t.Error("preliminary run had side effects")
+	}
+	bal, _ := e.Balance("a")
+	if bal != 1000 {
+		t.Errorf("balance = %v", bal)
+	}
+}
+
+func TestSellerReceivesPayment(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("seller"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.OpenAccount("buyer"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	// Seller offers 50 CPU in congested r1; buyer wants exactly that and
+	// is willing to pay a lot. Operator supply in r1 is small because the
+	// cluster is nearly full.
+	offer := reg.Zero()
+	offer[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})] = -50
+	if _, err := e.Submit("seller", &core.Bid{User: "seller", Bundles: []resource.Vector{offer}, Limit: -10}); err != nil {
+		t.Fatal(err)
+	}
+	want := reg.Zero()
+	want[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})] = 60
+	if _, err := e.Submit("buyer", &core.Bid{User: "buyer", Bundles: []resource.Vector{want}, Limit: 900}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.RunAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sellerBal, _ := e.Balance("seller")
+	buyerBal, _ := e.Balance("buyer")
+	if sellerBal <= 1000 {
+		t.Errorf("seller balance = %v, expected revenue", sellerBal)
+	}
+	if buyerBal >= 1000 {
+		t.Errorf("buyer balance = %v, expected payment", buyerBal)
+	}
+	if !e.LedgerBalanced(1e-9) {
+		t.Error("ledger unbalanced")
+	}
+	// Seller quota reduced (clamped at 0 since none was granted).
+	q := e.Fleet().Quotas().Granted("seller", "r1")
+	if q.CPU != 0 {
+		t.Errorf("seller quota = %v", q)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SubmitProduct("a", "batch-compute", 2, []string{"r1", "r2"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	offer := reg.Zero()
+	offer[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.RAM})] = -10
+	if _, err := e.Submit("a", &core.Bid{User: "a/offer", Bundles: []resource.Vector{offer}, Limit: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := e.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r1 := rows[0]
+	if r1.Cluster != "r1" || r1.Bids != 1 || r1.Offers != 1 {
+		t.Errorf("r1 summary = %+v", r1)
+	}
+	if rows[1].Bids != 1 || rows[1].Offers != 0 {
+		t.Errorf("r2 summary = %+v", rows[1])
+	}
+	// Prices positive, congested r1 above idle r2.
+	if r1.Price.CPU <= rows[1].Price.CPU {
+		t.Errorf("price ordering wrong: %v vs %v", r1.Price, rows[1].Price)
+	}
+	if r1.Utilization.CPU <= rows[1].Utilization.CPU {
+		t.Error("utilization ordering wrong")
+	}
+}
+
+func TestPriceHistory(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	pool := resource.Pool{Cluster: "r2", Dim: resource.CPU}
+	if got := e.PriceHistory(pool); len(got) != 0 {
+		t.Errorf("history before auctions = %v", got)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := e.SubmitProduct("a", "batch-compute", 2, []string{"r2"}, 100); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.RunAuction(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := e.PriceHistory(pool)
+	if len(h) != 2 {
+		t.Fatalf("history = %v", h)
+	}
+	if e.PriceHistory(resource.Pool{Cluster: "zz", Dim: resource.CPU}) != nil {
+		t.Error("unknown pool returned history")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := StandardCatalog()
+	names := c.Names()
+	if len(names) != 4 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("names not sorted")
+		}
+	}
+	p, err := c.Lookup("gfs-storage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := p.Cover(2)
+	if cover.Disk != 6 {
+		t.Errorf("cover = %v", cover)
+	}
+	if _, err := c.Lookup("nope"); err == nil {
+		t.Error("unknown product accepted")
+	}
+}
+
+func TestOrderStatusString(t *testing.T) {
+	for s, want := range map[OrderStatus]string{
+		Open: "open", Won: "won", Lost: "lost", Cancelled: "cancelled",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if !strings.Contains(OrderStatus(42).String(), "42") {
+		t.Error("unknown status string")
+	}
+}
+
+func TestOperatorSupplyRespectsMarketableFraction(t *testing.T) {
+	f := testFleet(t)
+	e, err := NewExchange(f, Config{MarketableFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := e.operatorSupply()
+	if sup == nil {
+		t.Fatal("no operator supply")
+	}
+	reg := e.Registry()
+	free := f.FreeVector(reg)
+	for i := range free {
+		want := -free[i] * 0.5
+		if free[i] <= 0 {
+			want = 0
+		}
+		if math.Abs(sup.Bundles[0][i]-want) > 1e-9 {
+			t.Errorf("pool %d supply = %v, want %v", i, sup.Bundles[0][i], want)
+		}
+	}
+}
+
+func TestRunAuctionNonConvergencePropagates(t *testing.T) {
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e15, MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, team := range []string{"t1", "t2"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := e.Registry()
+	// Two opposed traders that never clear (see core's non-convergence
+	// test): buy 2 in one cluster, sell 1 in the other.
+	mk := func(buyCluster, sellCluster string) *core.Bid {
+		v := reg.Zero()
+		v[reg.MustIndex(resource.Pool{Cluster: buyCluster, Dim: resource.CPU})] = 2000
+		v[reg.MustIndex(resource.Pool{Cluster: sellCluster, Dim: resource.CPU})] = -1000
+		return &core.Bid{User: buyCluster + "-trader", Bundles: []resource.Vector{v}, Limit: 1e12}
+	}
+	if _, err := e.Submit("t1", mk("r1", "r2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("t2", mk("r2", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	rec, res, err := e.RunAuction()
+	if !errors.Is(err, core.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if rec == nil || rec.Converged || res.Converged {
+		t.Fatal("non-converged auction not recorded as such")
+	}
+	// The partial settlement is still bookkept consistently.
+	if !e.LedgerBalanced(1e-6) {
+		t.Error("ledger unbalanced after non-convergent auction")
+	}
+	for _, o := range e.Orders() {
+		if o.Status == Open {
+			t.Error("order left open after auction")
+		}
+	}
+}
+
+func TestSubmitVectorPiBid(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("vp"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	b1 := reg.Zero()
+	b1[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})] = 10
+	b2 := reg.Zero()
+	b2[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})] = 10
+	bid := &core.Bid{
+		User:         "vp",
+		Bundles:      []resource.Vector{b1, b2},
+		BundleLimits: []float64{900, 200}, // values r1 far more
+	}
+	if _, err := e.Submit("vp", bid); err != nil {
+		t.Fatal(err)
+	}
+	rec, res, err := e.RunAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("vector-pi bid lost an uncontested market")
+	}
+}

@@ -1,0 +1,90 @@
+package market
+
+import (
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/resource"
+)
+
+// ClusterSummary is one row of the "market summary" page (Figure 3): the
+// cluster's open interest and current prices per dimension.
+type ClusterSummary struct {
+	Cluster string
+	// Bids and Offers count open orders touching the cluster by side.
+	Bids, Offers int
+	// Price holds the latest settlement (or reserve) price per dimension.
+	Price cluster.Usage
+	// Utilization is the cluster's live ψ per dimension.
+	Utilization cluster.Usage
+}
+
+// Summary builds the market summary rows in cluster registration order.
+// Prices come from the most recent auction, falling back to current
+// reserve prices before the first auction.
+func (e *Exchange) Summary() ([]ClusterSummary, error) {
+	var prices resource.Vector
+	if len(e.history) > 0 {
+		prices = e.history[len(e.history)-1].Prices
+	} else {
+		var err error
+		prices, err = e.ReservePrices()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Count open interest per cluster.
+	bidCount := make(map[string]int)
+	offerCount := make(map[string]int)
+	for _, o := range e.OpenOrders() {
+		side := o.Side()
+		touched := make(map[string]bool)
+		for _, b := range o.Bid.Bundles {
+			for i, q := range b {
+				if q == 0 {
+					continue
+				}
+				touched[e.reg.Pool(i).Cluster] = true
+			}
+		}
+		for c := range touched {
+			switch {
+			case side > 0:
+				bidCount[c]++
+			case side < 0:
+				offerCount[c]++
+			default:
+				bidCount[c]++
+				offerCount[c]++
+			}
+		}
+	}
+
+	var out []ClusterSummary
+	for _, name := range e.fleet.ClusterNames() {
+		cs := ClusterSummary{Cluster: name, Bids: bidCount[name], Offers: offerCount[name]}
+		if c := e.fleet.Cluster(name); c != nil {
+			cs.Utilization = c.Utilization()
+		}
+		for _, d := range resource.StandardDimensions {
+			if i, ok := e.reg.Index(resource.Pool{Cluster: name, Dim: d}); ok {
+				cs.Price = cs.Price.Set(d, prices[i])
+			}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// PriceHistory returns the settlement price of one pool across auctions,
+// oldest first (the sparkline data on the market front end).
+func (e *Exchange) PriceHistory(pool resource.Pool) []float64 {
+	i, ok := e.reg.Index(pool)
+	if !ok {
+		return nil
+	}
+	out := make([]float64, 0, len(e.history))
+	for _, rec := range e.history {
+		out = append(out, rec.Prices[i])
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+// Package optimize implements the road not taken in the paper: winner
+// determination that explicitly maximizes an operator-chosen objective,
+// the "alternative algorithms, based explicitly on optimization" of
+// Sections III.C.4 and VI. The paper's clock auction deliberately trades
+// optimality for uniform prices, fairness, and tractability; this package
+// provides the comparison point.
+//
+// Two objectives from Section III.B are supported:
+//
+//   - TotalSurplus: Σ_u (π_u − p̃ᵀx_u), the reported willingness to pay
+//     minus the reserve-price value of what each user receives. The
+//     formula covers sellers too: with q and π negative it reduces to
+//     revenue-above-ask.
+//   - TotalTradeValue: Σ_u p̃ᵀx_u⁺, the gross reserve-price value of all
+//     resources that change hands.
+//
+// Greedy accepts sellers with nonnegative surplus (they only add supply)
+// and then buyers in descending objective density. Exact solves the same
+// problem by branch and bound for small instances, giving tests a true
+// optimum to measure the greedy gap against.
+//
+// Outcomes are settled at the reserve prices p̃, which is precisely why
+// the paper rejects this family: the result is feasible and
+// high-welfare, but the prices no longer separate winners from losers —
+// UnfairnessReport quantifies how many SYSTEM fairness constraints the
+// optimized allocation violates.
+package optimize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+// Objective selects what the allocator maximizes.
+type Objective int
+
+const (
+	// TotalSurplus maximizes Σ (π_u − p̃ᵀx_u).
+	TotalSurplus Objective = iota
+	// TotalTradeValue maximizes Σ p̃ᵀx_u⁺.
+	TotalTradeValue
+)
+
+func (o Objective) String() string {
+	switch o {
+	case TotalSurplus:
+		return "total-surplus"
+	case TotalTradeValue:
+		return "total-trade-value"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Result is an optimized allocation settled at reserve prices.
+type Result struct {
+	// Allocations[i] is the bundle granted to bids[i], nil if rejected.
+	Allocations []resource.Vector
+	// Payments[i] is p̃ᵀx_i (reserve-price settlement).
+	Payments []float64
+	// Welfare is the achieved objective value.
+	Welfare float64
+	// Accepted lists winning bid indices in input order.
+	Accepted []int
+}
+
+// candidate is one (bid, bundle) pair under consideration.
+type candidate struct {
+	bid     int
+	bundle  int
+	surplus float64 // π − p̃ᵀq
+	value   float64 // objective contribution
+	density float64 // value per unit of demanded quantity
+}
+
+// bundleValue computes a candidate's objective contribution.
+func bundleValue(obj Objective, surplus float64, q, reserve resource.Vector) float64 {
+	switch obj {
+	case TotalTradeValue:
+		return q.PositivePart().Dot(reserve)
+	default:
+		return surplus
+	}
+}
+
+// buildCandidates expands every bid × bundle pair, keeping the best
+// bundle per bid per the objective (XOR semantics are enforced during
+// search as well, but pre-picking reduces the greedy's choice set for
+// buyers; for Exact all bundles are kept).
+func buildCandidates(bids []*core.Bid, reserve resource.Vector, obj Objective, keepAll bool) []candidate {
+	var out []candidate
+	for i, b := range bids {
+		bestPer := candidate{bid: -1}
+		for j, q := range b.Bundles {
+			lim := b.Limit
+			if len(b.BundleLimits) > 0 {
+				lim = b.BundleLimits[j]
+			}
+			surplus := lim - q.Dot(reserve)
+			c := candidate{
+				bid:     i,
+				bundle:  j,
+				surplus: surplus,
+				value:   bundleValue(obj, surplus, q, reserve),
+			}
+			size := q.PositivePart().Sum()
+			if size > 0 {
+				c.density = c.value / size
+			} else {
+				c.density = c.value
+			}
+			if keepAll {
+				out = append(out, c)
+				continue
+			}
+			if bestPer.bid < 0 || c.value > bestPer.value {
+				bestPer = c
+			}
+		}
+		if !keepAll && bestPer.bid >= 0 {
+			out = append(out, bestPer)
+		}
+	}
+	return out
+}
+
+// Greedy computes a welfare-oriented allocation: sellers with nonnegative
+// surplus are accepted first (adding supply), then buyers in descending
+// density while supply lasts. The allocation always satisfies Σx ≤ 0.
+func Greedy(reg *resource.Registry, bids []*core.Bid, reserve resource.Vector, obj Objective) (*Result, error) {
+	if err := validate(reg, bids, reserve); err != nil {
+		return nil, err
+	}
+	// Keep every bundle as a candidate: if a bid's best bundle does not
+	// fit the remaining supply, a substitute bundle still can — the same
+	// substitution flexibility the clock auction exploits.
+	cands := buildCandidates(bids, reserve, obj, true)
+
+	// Headroom h = −Σx: available supply per pool.
+	h := reg.Zero()
+	res := &Result{
+		Allocations: make([]resource.Vector, len(bids)),
+		Payments:    make([]float64, len(bids)),
+	}
+	accept := func(c candidate) {
+		q := bids[c.bid].Bundles[c.bundle]
+		for k, v := range q {
+			h[k] -= v
+		}
+		res.Allocations[c.bid] = q.Clone()
+		res.Payments[c.bid] = q.Dot(reserve)
+		res.Welfare += c.value
+		res.Accepted = append(res.Accepted, c.bid)
+	}
+
+	// Phase 1: sellers (pure offers only) with nonnegative surplus, one
+	// bundle per bid (XOR).
+	for _, c := range sortedBy(cands, func(a, b candidate) bool { return a.surplus > b.surplus }) {
+		if res.Allocations[c.bid] != nil {
+			continue
+		}
+		q := bids[c.bid].Bundles[c.bundle]
+		if q.PureDirection() == -1 && c.surplus >= 0 {
+			accept(c)
+		}
+	}
+	// Phase 2: buyers and traders by density.
+	for _, c := range sortedBy(cands, func(a, b candidate) bool { return a.density > b.density }) {
+		if res.Allocations[c.bid] != nil {
+			continue
+		}
+		q := bids[c.bid].Bundles[c.bundle]
+		if q.PureDirection() == -1 {
+			continue
+		}
+		if c.value <= 0 {
+			continue
+		}
+		fits := true
+		for k, v := range q {
+			if v > h[k]+1e-12 {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			accept(c)
+		}
+	}
+	sort.Ints(res.Accepted)
+	return res, nil
+}
+
+// MaxExactBids bounds the branch-and-bound search.
+const MaxExactBids = 22
+
+// Exact finds the welfare-optimal allocation by branch and bound over the
+// XOR choice per bid. It is exponential and refuses instances above
+// MaxExactBids; it exists to measure the greedy gap and as the reference
+// implementation for tests.
+func Exact(reg *resource.Registry, bids []*core.Bid, reserve resource.Vector, obj Objective) (*Result, error) {
+	if err := validate(reg, bids, reserve); err != nil {
+		return nil, err
+	}
+	if len(bids) > MaxExactBids {
+		return nil, fmt.Errorf("optimize: Exact limited to %d bids, got %d", MaxExactBids, len(bids))
+	}
+	// Per-bid options: every bundle plus "reject" (index −1).
+	type option struct {
+		bundle int
+		value  float64
+	}
+	options := make([][]option, len(bids))
+	optimistic := make([]float64, len(bids)+1) // suffix sums of best value
+	for i, b := range bids {
+		opts := []option{{bundle: -1}}
+		best := 0.0
+		for j, q := range b.Bundles {
+			lim := b.Limit
+			if len(b.BundleLimits) > 0 {
+				lim = b.BundleLimits[j]
+			}
+			surplus := lim - q.Dot(reserve)
+			v := bundleValue(obj, surplus, q, reserve)
+			opts = append(opts, option{bundle: j, value: v})
+			if v > best {
+				best = v
+			}
+		}
+		options[i] = opts
+		optimistic[i] = best
+	}
+	for i := len(bids) - 1; i >= 0; i-- {
+		optimistic[i] += optimistic[i+1]
+	}
+
+	bestWelfare := math.Inf(-1)
+	bestChoice := make([]int, len(bids))
+	choice := make([]int, len(bids))
+	total := reg.Zero()
+
+	var dfs func(i int, welfare float64)
+	dfs = func(i int, welfare float64) {
+		if welfare+optimisticAt(optimistic, i) <= bestWelfare {
+			return // bound: even taking every remaining best option loses
+		}
+		if i == len(bids) {
+			if total.AllNonPositive(1e-9) && welfare > bestWelfare {
+				bestWelfare = welfare
+				copy(bestChoice, choice)
+			}
+			return
+		}
+		for _, opt := range options[i] {
+			choice[i] = opt.bundle
+			if opt.bundle >= 0 {
+				q := bids[i].Bundles[opt.bundle]
+				total.AddInto(q)
+				// Prune infeasible prefixes only when no future seller
+				// could repair them; conservatively always recurse —
+				// sellers later in the order can add supply. Feasibility
+				// is enforced at the leaves.
+				dfs(i+1, welfare+opt.value)
+				total.AddInto(q.Neg())
+			} else {
+				dfs(i+1, welfare)
+			}
+		}
+	}
+	dfs(0, 0)
+
+	if math.IsInf(bestWelfare, -1) {
+		return nil, errors.New("optimize: no feasible allocation (not even the empty one?)")
+	}
+	res := &Result{
+		Allocations: make([]resource.Vector, len(bids)),
+		Payments:    make([]float64, len(bids)),
+		Welfare:     bestWelfare,
+	}
+	for i, j := range bestChoice {
+		if j < 0 {
+			continue
+		}
+		q := bids[i].Bundles[j]
+		res.Allocations[i] = q.Clone()
+		res.Payments[i] = q.Dot(reserve)
+		res.Accepted = append(res.Accepted, i)
+	}
+	return res, nil
+}
+
+func optimisticAt(suffix []float64, i int) float64 { return suffix[i] }
+
+// EvaluateWelfare scores an arbitrary allocation (for instance the clock
+// auction's) under the objective, making clock-vs-optimizer comparisons
+// possible.
+func EvaluateWelfare(bids []*core.Bid, allocations []resource.Vector, reserve resource.Vector, obj Objective) (float64, error) {
+	if len(bids) != len(allocations) {
+		return 0, fmt.Errorf("optimize: %d bids but %d allocations", len(bids), len(allocations))
+	}
+	var welfare float64
+	for i, x := range allocations {
+		if x == nil {
+			continue
+		}
+		// Identify the bundle to find its governing limit.
+		matched := false
+		for j, q := range bids[i].Bundles {
+			if q.Equal(x, 1e-9) {
+				lim := bids[i].Limit
+				if len(bids[i].BundleLimits) > 0 {
+					lim = bids[i].BundleLimits[j]
+				}
+				surplus := lim - q.Dot(reserve)
+				welfare += bundleValue(obj, surplus, q, reserve)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return 0, fmt.Errorf("optimize: allocation %d is not one of the bid's bundles", i)
+		}
+	}
+	return welfare, nil
+}
+
+// UnfairnessReport counts how many of the price-based SYSTEM fairness
+// constraints (3)–(5) the allocation violates when settled at the given
+// uniform prices. The clock auction produces zero by construction;
+// optimized allocations generally do not — the quantitative form of the
+// paper's fairness argument.
+func UnfairnessReport(bids []*core.Bid, res *Result, prices resource.Vector) int {
+	cr := &core.Result{
+		Converged:   true,
+		Prices:      prices,
+		Allocations: res.Allocations,
+		Payments:    res.Payments,
+	}
+	count := 0
+	for _, v := range core.CheckSystem(bids, cr, 1e-9) {
+		if v.Constraint >= 3 && v.Constraint <= 5 {
+			count++
+		}
+	}
+	return count
+}
+
+func validate(reg *resource.Registry, bids []*core.Bid, reserve resource.Vector) error {
+	if reg == nil || reg.Len() == 0 {
+		return errors.New("optimize: empty registry")
+	}
+	if len(bids) == 0 {
+		return errors.New("optimize: no bids")
+	}
+	if len(reserve) != reg.Len() {
+		return fmt.Errorf("optimize: reserve has %d components, registry %d", len(reserve), reg.Len())
+	}
+	for _, b := range bids {
+		if err := b.Validate(reg.Len()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedBy returns a sorted copy (stable) of the candidates.
+func sortedBy(cands []candidate, less func(a, b candidate) bool) []candidate {
+	out := append([]candidate(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}

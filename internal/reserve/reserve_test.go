@@ -1,0 +1,246 @@
+package reserve
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"clustermarket/internal/resource"
+)
+
+func TestFigure2CurveValues(t *testing.T) {
+	// Spot-check the three curves against their closed forms at the
+	// utilizations highlighted in Figure 2.
+	cases := []struct {
+		name string
+		fn   WeightFn
+		x    float64
+		want float64
+	}{
+		{"phi1(0)", ExpSteep, 0, math.Exp(-1)},
+		{"phi1(0.5)", ExpSteep, 0.5, 1},
+		{"phi1(1)", ExpSteep, 1, math.Exp(1)},
+		{"phi2(0)", ExpMild, 0, math.Exp(-0.5)},
+		{"phi2(0.5)", ExpMild, 0.5, 1},
+		{"phi2(1)", ExpMild, 1, math.Exp(0.5)},
+		{"phi3(0)", Hyperbolic, 0, 1 / 1.5},
+		{"phi3(0.5)", Hyperbolic, 0.5, 1},
+		{"phi3(1)", Hyperbolic, 1, 2},
+	}
+	for _, c := range cases {
+		if got := c.fn(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAllPaperCurvesSatisfyProperties(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		fn   WeightFn
+	}{
+		{"ExpSteep", ExpSteep},
+		{"ExpMild", ExpMild},
+		{"Hyperbolic", Hyperbolic},
+	} {
+		p, err := CheckProperties(c.fn, 200)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !p.Satisfied() {
+			t.Errorf("%s violates Section IV.A properties: %+v", c.name, p)
+		}
+	}
+}
+
+func TestBoundedRatioValues(t *testing.T) {
+	// Property 5: φ(1) = k·φ(0). Check the analytic k for each curve.
+	cases := []struct {
+		fn   WeightFn
+		want float64
+	}{
+		{ExpSteep, math.Exp(2)},
+		{ExpMild, math.Exp(1)},
+		{Hyperbolic, 3},
+	}
+	for i, c := range cases {
+		p, err := CheckProperties(c.fn, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.BoundedRatio-c.want) > 1e-9 {
+			t.Errorf("case %d: k = %v, want %v", i, p.BoundedRatio, c.want)
+		}
+	}
+}
+
+func TestCheckPropertiesRejectsBadCurves(t *testing.T) {
+	decreasing := WeightFn(func(x float64) float64 { return 2 - x })
+	p, err := CheckProperties(decreasing, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Monotonic {
+		t.Error("decreasing curve reported monotonic")
+	}
+	if p.Satisfied() {
+		t.Error("decreasing curve reported satisfied")
+	}
+
+	flat := WeightFn(func(float64) float64 { return 1 })
+	p, err = CheckProperties(flat, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AboveOneWhenOver {
+		t.Error("flat curve cannot exceed 1 when over-utilized")
+	}
+	if p.CongestionConvex {
+		t.Error("flat curve has no congestion convexity")
+	}
+
+	if _, err := CheckProperties(flat, 2); err == nil {
+		t.Error("n < 4 accepted")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	for _, name := range []string{"exp-steep", "phi1", "exp-mild", "phi2", "hyperbolic", "phi3"} {
+		fn, err := Named(name)
+		if err != nil || fn == nil {
+			t.Errorf("Named(%q) = %v", name, err)
+		}
+	}
+	if _, err := Named("bogus"); err == nil {
+		t.Error("Named(bogus) accepted")
+	}
+}
+
+func TestPowerCurveClamps(t *testing.T) {
+	fn := Power(0.5, 2.5, 2)
+	if got := fn(-1); got != 0.5 {
+		t.Errorf("fn(-1) = %v", got)
+	}
+	if got := fn(2); got != 2.5 {
+		t.Errorf("fn(2) = %v", got)
+	}
+	if got := fn(0.5); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("fn(0.5) = %v", got)
+	}
+}
+
+func TestPricerPrice(t *testing.T) {
+	pr := NewPricer(ExpSteep)
+	pool := resource.Pool{Cluster: "r1", Dim: resource.CPU}
+
+	// At 50% utilization the multiple is exactly 1, so price = cost.
+	if got := pr.Price(pool, 0.5, 10); math.Abs(got-10) > 1e-9 {
+		t.Errorf("price at 50%% = %v", got)
+	}
+	// Congested pools cost more than idle ones.
+	if pr.Price(pool, 0.95, 10) <= pr.Price(pool, 0.10, 10) {
+		t.Error("congested price not above idle price")
+	}
+	// Utilization clamps.
+	if got := pr.Price(pool, -3, 10); math.Abs(got-pr.Price(pool, 0, 10)) > 1e-12 {
+		t.Errorf("negative utilization not clamped: %v", got)
+	}
+	if got := pr.Price(pool, 7, 10); math.Abs(got-pr.Price(pool, 1, 10)) > 1e-12 {
+		t.Errorf("excess utilization not clamped: %v", got)
+	}
+	// Floor applies with zero cost.
+	if got := pr.Price(pool, 0.5, 0); got != pr.Floor {
+		t.Errorf("floor not applied: %v", got)
+	}
+}
+
+func TestPricerPerDimensionOverride(t *testing.T) {
+	pr := NewPricer(ExpMild)
+	pr.PerDimension = map[resource.Dimension]WeightFn{
+		resource.Disk: Hyperbolic,
+	}
+	cpu := resource.Pool{Cluster: "r1", Dim: resource.CPU}
+	disk := resource.Pool{Cluster: "r1", Dim: resource.Disk}
+	// At full utilization ExpMild gives e^0.5 ≈ 1.65, Hyperbolic gives 2.
+	if got := pr.Price(cpu, 1, 1); math.Abs(got-math.Exp(0.5)) > 1e-9 {
+		t.Errorf("cpu price = %v", got)
+	}
+	if got := pr.Price(disk, 1, 1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("disk price = %v", got)
+	}
+}
+
+func TestPricerPrices(t *testing.T) {
+	reg := resource.NewStandardRegistry("r1")
+	pr := NewPricer(ExpSteep)
+	util := resource.Vector{0.9, 0.5, 0.1}
+	cost := resource.Vector{10, 5, 1}
+	p, err := pr.Prices(reg, util, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 3 {
+		t.Fatalf("got %d prices", len(p))
+	}
+	if p[0] <= cost[0] {
+		t.Errorf("congested pool priced %v, below cost %v", p[0], cost[0])
+	}
+	if math.Abs(p[1]-cost[1]) > 1e-9 {
+		t.Errorf("50%%-utilized pool priced %v, want cost %v", p[1], cost[1])
+	}
+	if p[2] >= cost[2] {
+		t.Errorf("idle pool priced %v, not below cost %v", p[2], cost[2])
+	}
+
+	if _, err := pr.Prices(reg, resource.Vector{1}, cost); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCurveSampling(t *testing.T) {
+	pts := Curve(ExpSteep, 100)
+	if len(pts) != 101 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].Utilization != 0 || pts[100].Utilization != 100 {
+		t.Errorf("endpoints = %v, %v", pts[0], pts[100])
+	}
+	if pts[50].Multiple != 1 {
+		t.Errorf("midpoint multiple = %v", pts[50].Multiple)
+	}
+	if got := Curve(ExpSteep, 0); len(got) != 2 {
+		t.Errorf("n<1 fallback gave %d points", len(got))
+	}
+}
+
+func TestQuickReservePriceMonotoneInUtilization(t *testing.T) {
+	pr := NewPricer(Hyperbolic)
+	pool := resource.Pool{Cluster: "q", Dim: resource.RAM}
+	prop := func(a, b uint8) bool {
+		x := float64(a) / 255
+		y := float64(b) / 255
+		if x > y {
+			x, y = y, x
+		}
+		return pr.Price(pool, x, 7) <= pr.Price(pool, y, 7)+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReservePriceLinearInCost(t *testing.T) {
+	pr := NewPricer(ExpMild)
+	pr.Floor = 0
+	pool := resource.Pool{Cluster: "q", Dim: resource.CPU}
+	prop := func(a uint8, c uint8) bool {
+		x := float64(a) / 255
+		cost := float64(c)
+		got := pr.Price(pool, x, 2*cost)
+		want := 2 * pr.Price(pool, x, cost)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package resource defines the resource model from Section II of the
+// paper: a market with R resource pools, each pool being a (cluster,
+// dimension) pair such as "CPUs in cluster r7". Quantities over the pools
+// are represented as dense R-component vectors; positive components denote
+// quantities demanded and negative components quantities offered, exactly
+// as in the paper's bundle encoding.
+package resource
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dimension identifies one measurable resource type within a cluster.
+type Dimension int
+
+// The resource dimensions used throughout the paper's experiments
+// (Section V: "each resource pool was taken as a cluster / resource type
+// combination with the latter including CPU, RAM, and disk"). Network is
+// included as an optional fourth dimension mentioned in Section IV.A.
+const (
+	CPU Dimension = iota
+	RAM
+	Disk
+	Network
+	numDimensions
+)
+
+// Dimensions lists the dimensions in canonical order.
+var Dimensions = [...]Dimension{CPU, RAM, Disk, Network}
+
+// StandardDimensions are the three dimensions used in the paper's
+// experimental market.
+var StandardDimensions = []Dimension{CPU, RAM, Disk}
+
+func (d Dimension) String() string {
+	switch d {
+	case CPU:
+		return "CPU"
+	case RAM:
+		return "RAM"
+	case Disk:
+		return "Disk"
+	case Network:
+		return "Network"
+	default:
+		return fmt.Sprintf("Dimension(%d)", int(d))
+	}
+}
+
+// Unit returns the human-readable unit used when displaying quantities of
+// the dimension on the trading platform.
+func (d Dimension) Unit() string {
+	switch d {
+	case CPU:
+		return "cores"
+	case RAM:
+		return "GB"
+	case Disk:
+		return "TB"
+	case Network:
+		return "Gbps"
+	default:
+		return "units"
+	}
+}
+
+// ParseDimension converts a case-insensitive dimension name into a
+// Dimension value.
+func ParseDimension(s string) (Dimension, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cpu", "cores":
+		return CPU, nil
+	case "ram", "memory", "mem":
+		return RAM, nil
+	case "disk", "storage":
+		return Disk, nil
+	case "network", "net", "bandwidth":
+		return Network, nil
+	}
+	return 0, fmt.Errorf("resource: unknown dimension %q", s)
+}
+
+// Pool identifies one divisible resource pool: a dimension within a
+// cluster, e.g. {Cluster: "r7", Dim: CPU}.
+type Pool struct {
+	Cluster string
+	Dim     Dimension
+}
+
+func (p Pool) String() string { return p.Cluster + "/" + p.Dim.String() }
+
+// Registry assigns a stable dense index to every pool participating in a
+// market. All vectors in a market share one registry so component i always
+// refers to the same pool. The zero value is an empty registry ready to
+// use.
+type Registry struct {
+	pools []Pool
+	index map[Pool]int
+}
+
+// NewRegistry returns a registry pre-populated with the given pools, in
+// order. Duplicate pools are registered once.
+func NewRegistry(pools ...Pool) *Registry {
+	r := &Registry{}
+	for _, p := range pools {
+		r.Add(p)
+	}
+	return r
+}
+
+// NewStandardRegistry builds the pool layout used in the paper's
+// experiments: every cluster crossed with CPU, RAM, and Disk.
+func NewStandardRegistry(clusters ...string) *Registry {
+	r := &Registry{}
+	for _, c := range clusters {
+		for _, d := range StandardDimensions {
+			r.Add(Pool{Cluster: c, Dim: d})
+		}
+	}
+	return r
+}
+
+// Add registers a pool and returns its index. Registering an existing pool
+// returns the existing index.
+func (r *Registry) Add(p Pool) int {
+	if r.index == nil {
+		r.index = make(map[Pool]int)
+	}
+	if i, ok := r.index[p]; ok {
+		return i
+	}
+	i := len(r.pools)
+	r.pools = append(r.pools, p)
+	r.index[p] = i
+	return i
+}
+
+// Index returns the dense index for pool p. The boolean reports whether the
+// pool is registered.
+func (r *Registry) Index(p Pool) (int, bool) {
+	i, ok := r.index[p]
+	return i, ok
+}
+
+// MustIndex is like Index but panics on an unregistered pool. It is meant
+// for scenario-construction code where the pool set is static.
+func (r *Registry) MustIndex(p Pool) int {
+	i, ok := r.index[p]
+	if !ok {
+		panic(fmt.Sprintf("resource: pool %v not registered", p))
+	}
+	return i
+}
+
+// Pool returns the pool at index i.
+func (r *Registry) Pool(i int) Pool { return r.pools[i] }
+
+// Len returns R, the number of registered pools.
+func (r *Registry) Len() int { return len(r.pools) }
+
+// Pools returns a copy of the registered pools in index order.
+func (r *Registry) Pools() []Pool {
+	out := make([]Pool, len(r.pools))
+	copy(out, r.pools)
+	return out
+}
+
+// Clusters returns the distinct cluster names in first-seen order.
+func (r *Registry) Clusters() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, p := range r.pools {
+		if !seen[p.Cluster] {
+			seen[p.Cluster] = true
+			out = append(out, p.Cluster)
+		}
+	}
+	return out
+}
+
+// ClusterPools returns the indices of all pools belonging to the cluster,
+// in dimension order.
+func (r *Registry) ClusterPools(cluster string) []int {
+	var out []int
+	for i, p := range r.pools {
+		if p.Cluster == cluster {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DimensionPools returns the indices of all pools with dimension d.
+func (r *Registry) DimensionPools(d Dimension) []int {
+	var out []int
+	for i, p := range r.pools {
+		if p.Dim == d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Zero returns a zero vector sized for this registry.
+func (r *Registry) Zero() Vector { return make(Vector, len(r.pools)) }
+
+// String renders a compact description such as
+// "Registry(6 pools, 2 clusters)".
+func (r *Registry) String() string {
+	return fmt.Sprintf("Registry(%d pools, %d clusters)", r.Len(), len(r.Clusters()))
+}
+
+// Format renders a non-zero vector against this registry as a sorted,
+// human-readable list like "r1/CPU:+40 r1/RAM:+96".
+func (r *Registry) Format(v Vector) string {
+	var parts []string
+	for i, q := range v {
+		if q == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s:%+g", r.pools[i], q))
+	}
+	sort.Strings(parts)
+	if len(parts) == 0 {
+		return "(empty)"
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,160 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDimension(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Dimension
+		wantErr bool
+	}{
+		{"cpu", CPU, false},
+		{"CPU", CPU, false},
+		{" Cores ", CPU, false},
+		{"ram", RAM, false},
+		{"Memory", RAM, false},
+		{"mem", RAM, false},
+		{"disk", Disk, false},
+		{"storage", Disk, false},
+		{"network", Network, false},
+		{"net", Network, false},
+		{"bandwidth", Network, false},
+		{"gpu", 0, true},
+		{"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseDimension(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseDimension(%q): want error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseDimension(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseDimension(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDimensionStringAndUnit(t *testing.T) {
+	for _, d := range Dimensions {
+		if d.String() == "" || strings.HasPrefix(d.String(), "Dimension(") {
+			t.Errorf("dimension %d has no name", int(d))
+		}
+		if d.Unit() == "" {
+			t.Errorf("dimension %v has no unit", d)
+		}
+	}
+	if got := Dimension(99).String(); got != "Dimension(99)" {
+		t.Errorf("unknown dimension String() = %q", got)
+	}
+	if got := Dimension(99).Unit(); got != "units" {
+		t.Errorf("unknown dimension Unit() = %q", got)
+	}
+}
+
+func TestRegistryAddAndIndex(t *testing.T) {
+	r := &Registry{}
+	p1 := Pool{Cluster: "r1", Dim: CPU}
+	p2 := Pool{Cluster: "r1", Dim: RAM}
+
+	if i := r.Add(p1); i != 0 {
+		t.Fatalf("first Add = %d, want 0", i)
+	}
+	if i := r.Add(p2); i != 1 {
+		t.Fatalf("second Add = %d, want 1", i)
+	}
+	if i := r.Add(p1); i != 0 {
+		t.Fatalf("duplicate Add = %d, want existing index 0", i)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if i, ok := r.Index(p2); !ok || i != 1 {
+		t.Fatalf("Index(p2) = %d,%v", i, ok)
+	}
+	if _, ok := r.Index(Pool{Cluster: "zz", Dim: Disk}); ok {
+		t.Fatal("Index of unregistered pool reported ok")
+	}
+	if got := r.Pool(1); got != p2 {
+		t.Fatalf("Pool(1) = %v, want %v", got, p2)
+	}
+}
+
+func TestRegistryMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing pool did not panic")
+		}
+	}()
+	(&Registry{}).MustIndex(Pool{Cluster: "nope", Dim: CPU})
+}
+
+func TestNewStandardRegistry(t *testing.T) {
+	r := NewStandardRegistry("r1", "r2")
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", r.Len())
+	}
+	clusters := r.Clusters()
+	if len(clusters) != 2 || clusters[0] != "r1" || clusters[1] != "r2" {
+		t.Fatalf("Clusters = %v", clusters)
+	}
+	cp := r.ClusterPools("r2")
+	if len(cp) != 3 {
+		t.Fatalf("ClusterPools(r2) = %v", cp)
+	}
+	for _, i := range cp {
+		if r.Pool(i).Cluster != "r2" {
+			t.Errorf("pool %d = %v not in r2", i, r.Pool(i))
+		}
+	}
+	dp := r.DimensionPools(RAM)
+	if len(dp) != 2 {
+		t.Fatalf("DimensionPools(RAM) = %v", dp)
+	}
+	for _, i := range dp {
+		if r.Pool(i).Dim != RAM {
+			t.Errorf("pool %d = %v not RAM", i, r.Pool(i))
+		}
+	}
+}
+
+func TestRegistryZeroAndFormat(t *testing.T) {
+	r := NewStandardRegistry("r1")
+	v := r.Zero()
+	if len(v) != 3 {
+		t.Fatalf("Zero len = %d", len(v))
+	}
+	if got := r.Format(v); got != "(empty)" {
+		t.Errorf("Format(zero) = %q", got)
+	}
+	v[r.MustIndex(Pool{"r1", CPU})] = 40
+	v[r.MustIndex(Pool{"r1", Disk})] = -2
+	got := r.Format(v)
+	if !strings.Contains(got, "r1/CPU:+40") || !strings.Contains(got, "r1/Disk:-2") {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestPoolsReturnsCopy(t *testing.T) {
+	r := NewStandardRegistry("r1")
+	pools := r.Pools()
+	pools[0] = Pool{Cluster: "mutated", Dim: Disk}
+	if r.Pool(0).Cluster == "mutated" {
+		t.Fatal("Pools() exposed internal slice")
+	}
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewStandardRegistry("a", "b", "c")
+	if got := r.String(); got != "Registry(9 pools, 3 clusters)" {
+		t.Errorf("String = %q", got)
+	}
+}

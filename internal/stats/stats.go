@@ -1,0 +1,296 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: quantiles, five-number/boxplot summaries (Figure 7), dispersion
+// metrics for the shortage/surplus comparison, histograms, and an ordinary
+// least-squares linear fit used to verify the paper's claim that clock
+// auction runtime scales linearly in the number of users and resources.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for empty input.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (the "type 7" estimator used by R
+// and NumPy). It returns 0 for empty input and clamps q into [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Summary bundles the descriptive statistics printed by the experiment
+// harness for each data series.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	lo, hi, _ := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    lo,
+		Q1:     Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q3:     Quantile(xs, 0.75),
+		Max:    hi,
+	}, nil
+}
+
+// Boxplot holds the Tukey boxplot statistics used to render Figure 7:
+// quartiles, whiskers at the most extreme data points within 1.5·IQR of
+// the box, and the outliers beyond them.
+type Boxplot struct {
+	Q1, Median, Q3          float64
+	LowWhisker, HighWhisker float64
+	Outliers                []float64
+}
+
+// NewBoxplot computes Tukey boxplot statistics for xs.
+func NewBoxplot(xs []float64) (Boxplot, error) {
+	if len(xs) == 0 {
+		return Boxplot{}, ErrEmpty
+	}
+	b := Boxplot{
+		Q1:     Quantile(xs, 0.25),
+		Median: Median(xs),
+		Q3:     Quantile(xs, 0.75),
+	}
+	iqr := b.Q3 - b.Q1
+	loFence := b.Q1 - 1.5*iqr
+	hiFence := b.Q3 + 1.5*iqr
+	b.LowWhisker, b.HighWhisker = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < loFence || x > hiFence {
+			b.Outliers = append(b.Outliers, x)
+			continue
+		}
+		if x < b.LowWhisker {
+			b.LowWhisker = x
+		}
+		if x > b.HighWhisker {
+			b.HighWhisker = x
+		}
+	}
+	// All points can be outliers only when IQR is degenerate; fall back to
+	// the box itself so the whiskers stay meaningful.
+	if math.IsInf(b.LowWhisker, 1) {
+		b.LowWhisker, b.HighWhisker = b.Q1, b.Q3
+	}
+	sort.Float64s(b.Outliers)
+	return b, nil
+}
+
+// IQR returns the interquartile range of the boxplot.
+func (b Boxplot) IQR() float64 { return b.Q3 - b.Q1 }
+
+// LinearFit is an ordinary least-squares fit y ≈ Slope·x + Intercept with
+// the coefficient of determination R².
+type LinearFit struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLinear computes the least-squares line through (xs[i], ys[i]).
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: x/y length mismatch")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values")
+	}
+	f := LinearFit{Slope: sxy / sxx}
+	f.Intercept = my - f.Slope*mx
+	if syy == 0 {
+		f.R2 = 1
+	} else {
+		f.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return f, nil
+}
+
+// Histogram counts xs into n equal-width bins between lo and hi. Values
+// outside [lo, hi] are clamped into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds an n-bin histogram of xs over [lo, hi].
+func NewHistogram(xs []float64, n int, lo, hi float64) (Histogram, error) {
+	if n <= 0 {
+		return Histogram{}, errors.New("stats: histogram needs n > 0 bins")
+	}
+	if hi <= lo {
+		return Histogram{}, errors.New("stats: histogram needs hi > lo")
+	}
+	h := Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+	w := (hi - lo) / float64(n)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of observations in the histogram.
+func (h Histogram) Total() int {
+	var t int
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// CoefficientOfVariation returns StdDev/Mean, the dimensionless dispersion
+// measure used to compare utilization imbalance across allocators. It
+// returns 0 when the mean is 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Gini returns the Gini coefficient of the non-negative values xs, a
+// standard inequality measure: 0 is perfectly even, values near 1 are
+// maximally concentrated. Negative inputs are clamped to 0.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			s[i] = x
+		}
+	}
+	sort.Float64s(s)
+	var cum, total float64
+	for i, x := range s {
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	n := float64(len(s))
+	return (2*cum)/(n*total) - (n+1)/n
+}
+
+// PercentileRank returns the fraction (0–100) of values in population that
+// are ≤ x. It is the "utilization percentile" transform used by Figure 7.
+func PercentileRank(population []float64, x float64) float64 {
+	if len(population) == 0 {
+		return 0
+	}
+	var le int
+	for _, v := range population {
+		if v <= x {
+			le++
+		}
+	}
+	return 100 * float64(le) / float64(len(population))
+}

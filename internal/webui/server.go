@@ -1,0 +1,419 @@
+// Package webui serves the trading platform front end from Section V.A:
+// the market summary page (Figure 3), the two-step bid entry flow
+// (Figure 4), and preliminary prices during the bid window (Figure 5),
+// implemented entirely with net/http and html/template.
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/market"
+	"clustermarket/internal/resource"
+)
+
+// Server exposes one Exchange over HTTP. The Exchange itself is not
+// concurrency-safe, so every handler holds the server mutex.
+type Server struct {
+	mu sync.Mutex
+	ex *market.Exchange
+
+	mux       *http.ServeMux
+	summary   *template.Template
+	bidStep1  *template.Template
+	bidStep2  *template.Template
+	bidDone   *template.Template
+	orders    *template.Template
+	teamsPage *template.Template
+}
+
+// New builds a Server around the exchange.
+func New(ex *market.Exchange) *Server {
+	funcs := template.FuncMap{
+		"pct": func(x float64) float64 { return 100 * x },
+	}
+	s := &Server{
+		ex:        ex,
+		mux:       http.NewServeMux(),
+		summary:   template.Must(template.New("summary").Funcs(funcs).Parse(summaryTmpl)),
+		bidStep1:  template.Must(template.New("bid1").Parse(bidStep1Tmpl)),
+		bidStep2:  template.Must(template.New("bid2").Parse(bidStep2Tmpl)),
+		bidDone:   template.Must(template.New("bidDone").Parse(bidDoneTmpl)),
+		orders:    template.Must(template.New("orders").Parse(ordersTmpl)),
+		teamsPage: template.Must(template.New("teams").Parse(teamsTmpl)),
+	}
+	s.mux.HandleFunc("/", s.handleSummary)
+	s.mux.HandleFunc("/bid", s.handleBidStep1)
+	s.mux.HandleFunc("/bid/preview", s.handleBidPreview)
+	s.mux.HandleFunc("/bid/submit", s.handleBidSubmit)
+	s.mux.HandleFunc("/orders", s.handleOrders)
+	s.mux.HandleFunc("/teams", s.handleTeams)
+	s.mux.HandleFunc("/auction/run", s.handleRunAuction)
+	s.mux.HandleFunc("/api/summary.json", s.handleSummaryJSON)
+	s.mux.HandleFunc("/api/prices.json", s.handlePricesJSON)
+	s.mux.HandleFunc("/api/history.json", s.handleHistoryJSON)
+	s.mux.HandleFunc("/api/auctions.json", s.handleAuctionsJSON)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// summaryRow augments a market.ClusterSummary with presentation fields.
+type summaryRow struct {
+	market.ClusterSummary
+	Class string
+	Spark string
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rows, err := s.ex.Summary()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	view := struct {
+		Auctions   int
+		OpenOrders int
+		Rows       []summaryRow
+	}{
+		Auctions:   len(s.ex.History()),
+		OpenOrders: len(s.ex.OpenOrders()),
+	}
+	for _, row := range rows {
+		sr := summaryRow{ClusterSummary: row}
+		switch {
+		case row.Utilization.CPU >= 0.75:
+			sr.Class = "hot"
+		case row.Utilization.CPU <= 0.35:
+			sr.Class = "cold"
+		}
+		hist := s.ex.PriceHistory(resource.Pool{Cluster: row.Cluster, Dim: resource.CPU})
+		sr.Spark = sparkline(hist)
+		view.Rows = append(view.Rows, sr)
+	}
+	render(w, s.summary, view)
+}
+
+// sparkline renders values as unicode block characters.
+func sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var sb strings.Builder
+	for _, x := range xs {
+		i := 0
+		if hi > lo {
+			i = int((x - lo) / (hi - lo) * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[i])
+	}
+	return sb.String()
+}
+
+func (s *Server) handleBidStep1(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	view := struct {
+		Error    string
+		Team     string
+		Products []string
+		Clusters string
+	}{
+		Error:    r.URL.Query().Get("err"),
+		Products: s.ex.Catalog().Names(),
+		Clusters: strings.Join(s.ex.Fleet().ClusterNames(), ","),
+	}
+	render(w, s.bidStep1, view)
+}
+
+// bidOption is one cluster alternative on the step-2 page.
+type bidOption struct {
+	Cluster string
+	Cover   cluster.Usage
+	Cost    float64
+}
+
+func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	team := strings.TrimSpace(r.FormValue("team"))
+	productName := r.FormValue("product")
+	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
+	if err != nil || qty <= 0 {
+		redirectErr(w, r, "quantity must be a positive number")
+		return
+	}
+	clusters := splitCSV(r.FormValue("clusters"))
+	if team == "" || len(clusters) == 0 {
+		redirectErr(w, r, "team and clusters are required")
+		return
+	}
+	product, err := s.ex.Catalog().Lookup(productName)
+	if err != nil {
+		redirectErr(w, r, err.Error())
+		return
+	}
+	prices, err := s.currentPrices()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cover := product.Cover(qty)
+	reg := s.ex.Registry()
+	var options []bidOption
+	suggested := 0.0
+	for _, cl := range clusters {
+		cost := 0.0
+		found := false
+		for _, d := range resource.StandardDimensions {
+			if i, ok := reg.Index(resource.Pool{Cluster: cl, Dim: d}); ok {
+				cost += cover.Get(d) * prices[i]
+				found = true
+			}
+		}
+		if !found {
+			redirectErr(w, r, fmt.Sprintf("unknown cluster %q", cl))
+			return
+		}
+		options = append(options, bidOption{Cluster: cl, Cover: cover, Cost: cost})
+		if suggested == 0 || cost < suggested {
+			suggested = cost
+		}
+	}
+	view := struct {
+		Team, Product, Unit string
+		Qty                 float64
+		Options             []bidOption
+		ClustersCSV         string
+		SuggestedLimit      float64
+	}{
+		Team: team, Product: productName, Unit: product.Unit,
+		Qty: qty, Options: options,
+		ClustersCSV:    strings.Join(clusters, ","),
+		SuggestedLimit: suggested * 1.1,
+	}
+	render(w, s.bidStep2, view)
+}
+
+func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	team := strings.TrimSpace(r.FormValue("team"))
+	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
+	if err != nil {
+		redirectErr(w, r, "bad quantity")
+		return
+	}
+	limit, err := strconv.ParseFloat(r.FormValue("limit"), 64)
+	if err != nil {
+		redirectErr(w, r, "bad limit")
+		return
+	}
+	order, err := s.ex.SubmitProduct(team, r.FormValue("product"), qty, splitCSV(r.FormValue("clusters")), limit)
+	if err != nil {
+		redirectErr(w, r, err.Error())
+		return
+	}
+	view := struct {
+		ID    int
+		Team  string
+		Limit float64
+	}{ID: order.ID, Team: team, Limit: limit}
+	render(w, s.bidDone, view)
+}
+
+func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	view := struct{ Orders []*market.Order }{Orders: s.ex.Orders()}
+	render(w, s.orders, view)
+}
+
+func (s *Server) handleTeams(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type teamRow struct {
+		Name    string
+		Balance float64
+	}
+	var view struct{ Teams []teamRow }
+	for _, t := range s.ex.Teams() {
+		bal, err := s.ex.Balance(t)
+		if err != nil {
+			continue
+		}
+		view.Teams = append(view.Teams, teamRow{Name: t, Balance: bal})
+	}
+	render(w, s.teamsPage, view)
+}
+
+func (s *Server) handleRunAuction(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	_, _, err := s.ex.RunAuction()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Server) handleSummaryJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rows, err := s.ex.Summary()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rows)
+}
+
+// handlePricesJSON returns the preliminary settlement prices over the
+// open orders — the Figure 5 feedback loop during the bid window. When no
+// orders are open it falls back to reserve prices.
+func (s *Server) handlePricesJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prices, err := s.ex.PreliminaryPrices()
+	if err != nil {
+		prices, err = s.ex.ReservePrices()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	reg := s.ex.Registry()
+	out := make(map[string]float64, reg.Len())
+	for i := 0; i < reg.Len(); i++ {
+		out[reg.Pool(i).String()] = prices[i]
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleHistoryJSON(w http.ResponseWriter, r *http.Request) {
+	clusterName := r.URL.Query().Get("cluster")
+	dimName := r.URL.Query().Get("dim")
+	dim, err := resource.ParseDimension(dimName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	hist := s.ex.PriceHistory(resource.Pool{Cluster: clusterName, Dim: dim})
+	s.mu.Unlock()
+	if hist == nil {
+		http.Error(w, "unknown pool", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, hist)
+}
+
+// currentPrices returns the best available price vector for display: the
+// last settlement when one exists, otherwise the live reserve prices.
+// Callers must hold s.mu.
+func (s *Server) currentPrices() (resource.Vector, error) {
+	if hist := s.ex.History(); len(hist) > 0 {
+		return hist[len(hist)-1].Prices, nil
+	}
+	return s.ex.ReservePrices()
+}
+
+// auctionView is the wire form of a settled auction record.
+type auctionView struct {
+	Number        int     `json:"number"`
+	Rounds        int     `json:"rounds"`
+	Converged     bool    `json:"converged"`
+	Submitted     int     `json:"submitted"`
+	Settled       int     `json:"settled"`
+	PremiumMedian float64 `json:"premiumMedian"`
+	PremiumMean   float64 `json:"premiumMean"`
+}
+
+// handleAuctionsJSON returns the settled auction history with the
+// Table I premium statistics per auction.
+func (s *Server) handleAuctionsJSON(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	hist := s.ex.History()
+	out := make([]auctionView, 0, len(hist))
+	for _, rec := range hist {
+		out = append(out, auctionView{
+			Number:        rec.Number,
+			Rounds:        rec.Rounds,
+			Converged:     rec.Converged,
+			Submitted:     rec.Submitted,
+			Settled:       rec.Settled,
+			PremiumMedian: rec.PremiumMedian(),
+			PremiumMean:   rec.PremiumMean(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func render(w http.ResponseWriter, t *template.Template, view any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := t.Execute(w, view); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func redirectErr(w http.ResponseWriter, r *http.Request, msg string) {
+	http.Redirect(w, r, "/bid?err="+strings.ReplaceAll(msg, " ", "+"), http.StatusSeeOther)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

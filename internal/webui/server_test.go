@@ -1,0 +1,361 @@
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/market"
+)
+
+func newTestServer(t *testing.T) (*Server, *market.Exchange) {
+	t.Helper()
+	f := cluster.NewFleet()
+	for _, name := range []string{"r1", "r2"} {
+		c := cluster.New(name, nil)
+		c.AddMachines(10, cluster.Usage{CPU: 10, RAM: 20, Disk: 5})
+		if err := f.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := f.FillToUtilization(rng, "r1", cluster.Usage{CPU: 0.8, RAM: 0.8, Disk: 0.8}); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := market.NewExchange(f, market.Config{InitialBudget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.OpenAccount("web-team"); err != nil {
+		t.Fatal(err)
+	}
+	return New(ex), ex
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func postForm(t *testing.T, ts *httptest.Server, path string, form url.Values) (int, string) {
+	t.Helper()
+	resp, err := http.PostForm(ts.URL+path, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestSummaryPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, body := get(t, ts, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"Market summary", "r1", "r2", "CPU price"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+	// r1 is hot, so it should be highlighted.
+	if !strings.Contains(body, `class="hot"`) {
+		t.Error("hot cluster not highlighted")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	s, _ := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if code, _ := get(t, ts, "/nope"); code != http.StatusNotFound {
+		t.Errorf("status = %d", code)
+	}
+}
+
+func TestBidFlow(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Step 1 page lists products.
+	code, body := get(t, ts, "/bid")
+	if code != http.StatusOK || !strings.Contains(body, "gfs-storage") {
+		t.Fatalf("step 1: %d\n%s", code, body)
+	}
+
+	// Step 2 preview shows covering resources and cost.
+	form := url.Values{
+		"team":     {"web-team"},
+		"product":  {"gfs-storage"},
+		"qty":      {"10"},
+		"clusters": {"r1, r2"},
+	}
+	code, body = postForm(t, ts, "/bid/preview", form)
+	if code != http.StatusOK {
+		t.Fatalf("step 2 status = %d", code)
+	}
+	for _, want := range []string{"covering", "r1", "r2", "Maximum bid price"} {
+		if !strings.Contains(strings.ToLower(body), strings.ToLower(want)) {
+			t.Errorf("step 2 missing %q:\n%s", want, body)
+		}
+	}
+
+	// Submit creates the order.
+	form.Set("limit", "400")
+	code, body = postForm(t, ts, "/bid/submit", form)
+	if code != http.StatusOK || !strings.Contains(body, "Bid submitted") {
+		t.Fatalf("submit: %d\n%s", code, body)
+	}
+	if len(ex.OpenOrders()) != 1 {
+		t.Fatalf("open orders = %d", len(ex.OpenOrders()))
+	}
+
+	// Orders page lists it.
+	code, body = get(t, ts, "/orders")
+	if code != http.StatusOK || !strings.Contains(body, "web-team") {
+		t.Fatalf("orders: %d", code)
+	}
+
+	// Run the auction via the admin button.
+	code, _ = postForm(t, ts, "/auction/run", nil)
+	if code != http.StatusOK { // after redirect to "/"
+		t.Fatalf("auction run: %d", code)
+	}
+	if len(ex.History()) != 1 {
+		t.Fatalf("auctions = %d", len(ex.History()))
+	}
+}
+
+func TestBidFlowErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// GET on POST-only endpoints.
+	if code, _ := get(t, ts, "/bid/preview"); code != http.StatusMethodNotAllowed {
+		t.Errorf("preview GET = %d", code)
+	}
+	if code, _ := get(t, ts, "/bid/submit"); code != http.StatusMethodNotAllowed {
+		t.Errorf("submit GET = %d", code)
+	}
+	if code, _ := get(t, ts, "/auction/run"); code != http.StatusMethodNotAllowed {
+		t.Errorf("auction GET = %d", code)
+	}
+
+	// Bad quantity redirects back to step 1 with an error message.
+	form := url.Values{
+		"team": {"web-team"}, "product": {"gfs-storage"},
+		"qty": {"-2"}, "clusters": {"r1"},
+	}
+	code, body := postForm(t, ts, "/bid/preview", form)
+	if code != http.StatusOK || !strings.Contains(body, "quantity") {
+		t.Errorf("bad qty: %d", code)
+	}
+	// Unknown product.
+	form.Set("qty", "1")
+	form.Set("product", "nope")
+	if _, body := postForm(t, ts, "/bid/preview", form); !strings.Contains(body, "unknown product") {
+		t.Error("unknown product not reported")
+	}
+	// Unknown cluster.
+	form.Set("product", "gfs-storage")
+	form.Set("clusters", "mars")
+	if _, body := postForm(t, ts, "/bid/preview", form); !strings.Contains(strings.ToLower(body), "unknown cluster") {
+		t.Error("unknown cluster not reported")
+	}
+	// Submitting over budget fails back to step 1.
+	form.Set("clusters", "r2")
+	form.Set("limit", "999999")
+	if _, body := postForm(t, ts, "/bid/submit", form); !strings.Contains(body, "budget") {
+		t.Error("over-budget submit not reported")
+	}
+	// Auction with no orders returns conflict.
+	if code, _ := postForm(t, ts, "/auction/run", nil); code != http.StatusConflict {
+		t.Errorf("empty auction run = %d", code)
+	}
+}
+
+func TestTeamsPage(t *testing.T) {
+	s, _ := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	code, body := get(t, ts, "/teams")
+	if code != http.StatusOK || !strings.Contains(body, "web-team") || !strings.Contains(body, "5000.00") {
+		t.Fatalf("teams: %d\n%s", code, body)
+	}
+}
+
+func TestJSONEndpoints(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// summary.json parses into rows.
+	code, body := get(t, ts, "/api/summary.json")
+	if code != http.StatusOK {
+		t.Fatalf("summary.json = %d", code)
+	}
+	var rows []market.ClusterSummary
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("summary.json decode: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("rows = %d", len(rows))
+	}
+
+	// prices.json falls back to reserve prices with no open orders.
+	code, body = get(t, ts, "/api/prices.json")
+	if code != http.StatusOK {
+		t.Fatalf("prices.json = %d", code)
+	}
+	var prices map[string]float64
+	if err := json.Unmarshal([]byte(body), &prices); err != nil {
+		t.Fatal(err)
+	}
+	if len(prices) != 6 {
+		t.Errorf("prices = %d entries", len(prices))
+	}
+	if prices["r1/CPU"] <= prices["r2/CPU"] {
+		t.Error("hot cluster not pricier in prices.json")
+	}
+
+	// history.json needs a settled auction.
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 2, []string{"r2"}, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, ts, "/api/history.json?cluster=r2&dim=cpu")
+	if code != http.StatusOK {
+		t.Fatalf("history.json = %d", code)
+	}
+	var hist []float64
+	if err := json.Unmarshal([]byte(body), &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 1 {
+		t.Errorf("history = %v", hist)
+	}
+	// Error paths.
+	if code, _ := get(t, ts, "/api/history.json?cluster=r2&dim=warp"); code != http.StatusBadRequest {
+		t.Errorf("bad dim = %d", code)
+	}
+	if code, _ := get(t, ts, "/api/history.json?cluster=zz&dim=cpu"); code != http.StatusNotFound {
+		t.Errorf("bad cluster = %d", code)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil); got != "-" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := sparkline([]float64{0, 0.5, 1})
+	if len([]rune(got)) != 3 {
+		t.Errorf("sparkline runes = %q", got)
+	}
+	r := []rune(got)
+	if r[0] >= r[2] {
+		t.Errorf("sparkline not increasing: %q", got)
+	}
+	// Flat history renders without dividing by zero.
+	if flat := sparkline([]float64{2, 2}); len([]rune(flat)) != 2 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestSplitCSV(t *testing.T) {
+	got := splitCSV(" a, b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitCSV = %v", got)
+	}
+	if got := splitCSV(""); got != nil {
+		t.Errorf("splitCSV empty = %v", got)
+	}
+}
+
+func TestAuctionsJSON(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Empty before any auction.
+	code, body := get(t, ts, "/api/auctions.json")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("empty auctions: %d %q", code, body)
+	}
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 2, []string{"r2"}, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, ts, "/api/auctions.json")
+	if code != http.StatusOK {
+		t.Fatalf("auctions.json = %d", code)
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0]["converged"] != true || recs[0]["number"].(float64) != 1 {
+		t.Errorf("record = %v", recs[0])
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 1, []string{"r2"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer mixed read endpoints concurrently; the server mutex must
+	// keep the non-thread-safe exchange consistent (run with -race).
+	done := make(chan error, 24)
+	for i := 0; i < 24; i++ {
+		path := []string{"/", "/orders", "/teams", "/api/summary.json"}[i%4]
+		go func(p string) {
+			resp, err := http.Get(ts.URL + p)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("%s: status %d", p, resp.StatusCode)
+				}
+			}
+			done <- err
+		}(path)
+	}
+	for i := 0; i < 24; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
