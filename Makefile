@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-baseline
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One pass over every benchmark; doubles as a smoke check of the
+# reproduced paper results (shape metrics are reported alongside timing).
+bench:
+	$(GO) test -run 'xxx' -bench . -benchtime 1x ./...
+
+# Record the current benchmark output as the baseline for comparison.
+bench-baseline:
+	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee BENCH_seed.json

@@ -11,12 +11,16 @@ package clustermarket_test
 // run doubles as a smoke check of the reproduced results.
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
+	"clustermarket/internal/market"
 	"clustermarket/internal/optimize"
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/sim"
@@ -376,6 +380,94 @@ func BenchmarkWebSummaryRender(b *testing.B) {
 			b.Fatal("empty summary")
 		}
 	}
+}
+
+// benchExchange builds a thread-safe exchange over a hot/cold two-cluster
+// fleet with `teams` funded accounts ("bt0", "bt1", …).
+func benchExchange(b *testing.B, teams int) *market.Exchange {
+	b.Helper()
+	f := cluster.NewFleet()
+	for _, name := range []string{"r1", "r2"} {
+		c := cluster.New(name, nil)
+		c.AddMachines(20, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := f.AddCluster(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(12))
+	if err := f.FillToUtilization(rng, "r1", cluster.Usage{CPU: 0.8, RAM: 0.8, Disk: 0.8}); err != nil {
+		b.Fatal(err)
+	}
+	ex, err := market.NewExchange(f, market.Config{InitialBudget: 1e12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < teams; i++ {
+		if err := ex.OpenAccount(benchName("bt", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ex
+}
+
+// BenchmarkConcurrentSubmit measures order-entry throughput with all
+// CPUs submitting into one exchange at once — the web tier's hot path
+// now that handlers are no longer serialized behind a server mutex.
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	ex := benchExchange(b, 16)
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		team := benchName("bt", int(worker.Add(1)-1)%16)
+		for pb.Next() {
+			if _, err := ex.SubmitProduct(team, "batch-compute", 1, []string{"r2"}, 5); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(len(ex.Orders())), "orders")
+}
+
+// BenchmarkEpochLoop measures submit throughput while an epoch auction
+// loop settles the accumulating batches concurrently — the full
+// continuous-trading pipeline (admit → batch → clock → settle).
+func BenchmarkEpochLoop(b *testing.B) {
+	ex := benchExchange(b, 16)
+	loop, err := market.NewLoop(ex, time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); loop.Run(ctx) }()
+
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1) - 1)
+		team := benchName("bt", w%16)
+		i := 0
+		for pb.Next() {
+			limit := float64(5 + (i*7+w*13)%60)
+			if _, err := ex.SubmitProduct(team, "batch-compute", 1, []string{"r2"}, limit); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	cancel()
+	<-done
+	// Drain whatever the final epoch left behind so short runs still
+	// exercise the settle path.
+	if _, err := loop.Tick(); err != nil {
+		b.Fatal(err)
+	}
+	s := loop.Stats()
+	b.ReportMetric(float64(s.Auctions), "auctions")
+	b.ReportMetric(float64(s.SettledOrders), "settledOrders")
 }
 
 // benchName formats sweep sub-bench names without fmt (keeps the hot loop

@@ -30,6 +30,8 @@
 package clustermarket
 
 import (
+	"time"
+
 	"clustermarket/internal/bidlang"
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
@@ -156,7 +158,8 @@ func NewCluster(name string, s Scheduler) *Cluster { return cluster.New(name, s)
 
 // Trading platform (Section V).
 type (
-	// Exchange is the trading platform.
+	// Exchange is the trading platform. All methods are safe for
+	// concurrent use; see MarketLoop for epoch-batched settlement.
 	Exchange = market.Exchange
 	// ExchangeConfig parameterizes it.
 	ExchangeConfig = market.Config
@@ -168,11 +171,25 @@ type (
 	ClusterSummary = market.ClusterSummary
 	// Product is a catalog entry for two-step bid entry (Figure 4).
 	Product = market.Product
+	// MarketLoop settles the order book in one clock auction per epoch.
+	MarketLoop = market.Loop
+	// MarketLoopStats counts the loop's ticks, auctions, and failures.
+	MarketLoopStats = market.LoopStats
 )
+
+// ErrNoOpenOrders reports an auction attempted over an empty book.
+var ErrNoOpenOrders = market.ErrNoOpenOrders
 
 // NewExchange wires an exchange to a fleet.
 func NewExchange(f *Fleet, cfg ExchangeConfig) (*Exchange, error) {
 	return market.NewExchange(f, cfg)
+}
+
+// NewMarketLoop builds an epoch-batched auction loop over the exchange:
+// orders accumulate during each epoch and settle in one clock auction
+// per tick. Run it with Loop.Run(ctx) or use Exchange.Serve.
+func NewMarketLoop(ex *Exchange, epoch time.Duration) (*MarketLoop, error) {
+	return market.NewLoop(ex, epoch)
 }
 
 // NewWebUI returns the trading platform's HTTP handler (Figures 3–5).

@@ -2,18 +2,22 @@
 // demo world: a fleet of clusters with skewed utilization and a set of
 // team accounts ready to bid.
 //
-//	marketd -addr :8080 -clusters 8 -seed 42
+//	marketd -addr :8080 -clusters 8 -seed 42 -epoch 30s
 //
-// Then browse http://localhost:8080/ for the market summary, /bid to
-// enter bids, and POST /auction/run to settle.
+// Then browse http://localhost:8080/ for the market summary and /bid to
+// enter bids. With -epoch set, accumulated orders settle automatically
+// in one clock auction per epoch; POST /auction/run forces a settlement
+// at any time (and is the only way to settle when -epoch is 0).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/market"
@@ -26,11 +30,31 @@ func main() {
 	machines := flag.Int("machines", 20, "machines per cluster")
 	seed := flag.Int64("seed", 42, "random seed for the demo load")
 	budget := flag.Float64("budget", 10000, "initial budget per team")
+	epoch := flag.Duration("epoch", 30*time.Second,
+		"auction epoch: settle accumulated orders every interval (0 disables the loop)")
 	flag.Parse()
 
 	ex, err := buildDemo(*clusters, *machines, *seed, *budget)
 	if err != nil {
 		log.Fatal("marketd: ", err)
+	}
+	if *epoch > 0 {
+		loop, err := market.NewLoop(ex, *epoch)
+		if err != nil {
+			log.Fatal("marketd: ", err)
+		}
+		loop.OnTick = func(rec *market.AuctionRecord, err error) {
+			if err != nil {
+				log.Printf("marketd: epoch auction: %v", err)
+				return
+			}
+			log.Printf("marketd: auction %d settled %d/%d orders in %d rounds",
+				rec.Number, rec.Settled, rec.Submitted, rec.Rounds)
+		}
+		go loop.Run(context.Background())
+		log.Printf("marketd: epoch auction loop settling every %s", *epoch)
+	} else {
+		log.Printf("marketd: epoch loop disabled; settle via POST /auction/run")
 	}
 	log.Printf("marketd: serving trading platform on %s", *addr)
 	log.Fatal(http.ListenAndServe(*addr, webui.New(ex)))

@@ -1,6 +1,8 @@
 // Webmarket: serves the trading-platform web UI (Figures 3–5) over a
 // small demo world and seeds it with a few open orders so the market
-// summary has content. Run with:
+// summary has content. An epoch auction loop settles the book every 30
+// seconds, so seeded and newly entered bids clear without any manual
+// step. Run with:
 //
 //	go run ./examples/webmarket
 //
@@ -8,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"time"
 
 	cm "clustermarket"
 )
@@ -56,7 +60,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Settle the book once per epoch while the web tier admits orders
+	// concurrently; POST /auction/run still forces an early settlement.
+	epoch := 30 * time.Second
+	go ex.Serve(context.Background(), epoch)
+
 	addr := ":8080"
-	fmt.Printf("webmarket: open http://localhost%s/ (bid entry at /bid; POST /auction/run settles)\n", addr)
+	fmt.Printf("webmarket: open http://localhost%s/ (bid entry at /bid; auctions settle every %s)\n", addr, epoch)
 	log.Fatal(http.ListenAndServe(addr, cm.NewWebUI(ex)))
 }

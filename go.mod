@@ -1,0 +1,3 @@
+module clustermarket
+
+go 1.22

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"clustermarket/internal/resource"
 )
@@ -173,7 +174,10 @@ func (f *Fleet) FillToUtilization(rng *rand.Rand, clusterName string, target Usa
 
 // QuotaLedger tracks granted quota per (team, cluster). Grants are
 // per-dimension Usage values; trades from auction settlement adjust them.
+// The ledger is safe for concurrent use: auction settlement writes grants
+// while schedulers and application code read them.
 type QuotaLedger struct {
+	mu     sync.RWMutex
 	grants map[string]map[string]Usage // team → cluster → quota
 }
 
@@ -185,6 +189,8 @@ func NewQuotaLedger() *QuotaLedger {
 // Grant adds (or, with negative deltas, removes) quota. The resulting
 // quota is clamped at zero per dimension.
 func (l *QuotaLedger) Grant(team, cluster string, delta Usage) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	byCluster, ok := l.grants[team]
 	if !ok {
 		byCluster = make(map[string]Usage)
@@ -205,11 +211,15 @@ func (l *QuotaLedger) Grant(team, cluster string, delta Usage) {
 
 // Granted returns the team's quota in the cluster (zero Usage when none).
 func (l *QuotaLedger) Granted(team, cluster string) Usage {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return l.grants[team][cluster]
 }
 
 // Teams lists teams holding any quota, sorted.
 func (l *QuotaLedger) Teams() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	out := make([]string, 0, len(l.grants))
 	for t := range l.grants {
 		out = append(out, t)
@@ -220,6 +230,8 @@ func (l *QuotaLedger) Teams() []string {
 
 // TotalGranted sums quotas across teams for one cluster.
 func (l *QuotaLedger) TotalGranted(cluster string) Usage {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var total Usage
 	for _, byCluster := range l.grants {
 		total = total.Add(byCluster[cluster])

@@ -56,7 +56,12 @@ func (e *Exchange) Disburse(policy DisbursementPolicy, total float64) error {
 	if total <= 0 {
 		return errors.New("market: disbursement must be positive")
 	}
-	teams := e.Teams()
+	// Hold the book lock across the whole disbursement: the weight scan
+	// reads the quota ledger, which RunAuction's settlement writes under
+	// the same lock.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	teams := e.teamsLocked()
 	if len(teams) == 0 {
 		return errors.New("market: no team accounts")
 	}

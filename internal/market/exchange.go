@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
@@ -17,6 +18,10 @@ import (
 // clock auction participants", Section V.A).
 const OperatorAccount = "operator"
 
+// ErrNoOpenOrders is returned by RunAuction and PreliminaryPrices when
+// the order book is empty. The epoch loop treats it as an idle tick.
+var ErrNoOpenOrders = errors.New("market: no open orders")
+
 // OrderStatus tracks an order through its life cycle.
 type OrderStatus int
 
@@ -29,6 +34,11 @@ const (
 	Lost
 	// Cancelled orders were withdrawn before settlement.
 	Cancelled
+	// Unsettled orders were retired after too many non-convergent
+	// clocks: their batch never found clearing prices, so they settled
+	// nothing. Without this cap a cycling trader pair would rejoin every
+	// epoch and livelock the whole market.
+	Unsettled
 )
 
 func (s OrderStatus) String() string {
@@ -41,6 +51,8 @@ func (s OrderStatus) String() string {
 		return "lost"
 	case Cancelled:
 		return "cancelled"
+	case Unsettled:
+		return "unsettled"
 	default:
 		return fmt.Sprintf("OrderStatus(%d)", int(s))
 	}
@@ -55,9 +67,19 @@ type Order struct {
 	// Auction is the auction number that settled the order (−1 while
 	// open).
 	Auction int
+	// Attempts counts non-convergent clock runs the order survived
+	// while open.
+	Attempts int
 	// Allocation and Payment are set when the order wins.
 	Allocation resource.Vector
 	Payment    float64
+
+	// inAuction marks an order whose batch is being settled by an
+	// in-flight clock. Such orders cannot be cancelled: a winner that
+	// vanished mid-clock would break quota conservation (its
+	// counterparties' allocations were computed assuming its
+	// contribution). Guarded by the exchange lock.
+	inAuction bool
 }
 
 // Side reports whether the order is a pure bid (+1), pure offer (−1), or
@@ -71,6 +93,20 @@ func (o *Order) Side() int {
 	default:
 		return 0
 	}
+}
+
+// snapshot copies the order, including a copy of the Bid struct so a
+// caller scribbling on snapshot.Bid fields cannot reach the booked bid.
+// The bundle vectors and Allocation remain shared: both are frozen —
+// bundles at submit time, the allocation at settlement — and must be
+// treated as read-only by callers.
+func (o *Order) snapshot() *Order {
+	c := *o
+	if o.Bid != nil {
+		b := *o.Bid
+		c.Bid = &b
+	}
+	return &c
 }
 
 // LedgerEntry is one double-entry billing record.
@@ -120,6 +156,11 @@ type Config struct {
 	// MarketableFraction is the share of each pool's *free* capacity the
 	// operator offers for sale each auction (default 0.8).
 	MarketableFraction float64
+	// MaxAuctionAttempts is how many non-convergent clocks an open order
+	// survives before it is retired as Unsettled (default 3). The cap
+	// keeps one cycling trader pair from rejoining every epoch and
+	// livelocking the market.
+	MaxAuctionAttempts int
 	// Auction tuning; zero values select core defaults.
 	Policy    core.IncrementPolicy
 	Epsilon   float64
@@ -137,10 +178,29 @@ func (c *Config) applyDefaults() {
 	if c.InitialBudget == 0 {
 		c.InitialBudget = 10000
 	}
+	if c.MaxAuctionAttempts <= 0 {
+		c.MaxAuctionAttempts = 3
+	}
 }
 
 // Exchange is the trading platform: accounts, an order book, and the
 // periodic clock auction that settles it.
+//
+// All methods are safe for concurrent use. Two locks split the work the
+// way the paper's platform does (one auctioneer, many traders):
+//
+//   - mu guards the book state (accounts, orders, ledger, history).
+//     Submits, cancels, and every read path take it only briefly, so
+//     traffic keeps flowing while a clock auction is in progress.
+//   - auctionMu serializes binding auctions. The clock itself runs
+//     without holding mu: RunAuction snapshots the open batch, iterates
+//     the clock lock-free, then reacquires mu to settle. Orders submitted
+//     meanwhile simply join the next epoch's batch.
+//
+// Read accessors (Orders, OpenOrders, Ledger, History, …) return
+// snapshots rather than aliases of internal slices; the frozen,
+// write-once data a snapshot carries (bid bundle vectors, allocations,
+// auction records) is shared and must be treated as read-only.
 type Exchange struct {
 	cfg     Config
 	fleet   *cluster.Fleet
@@ -148,11 +208,19 @@ type Exchange struct {
 	catalog *Catalog
 	pricer  *reserve.Pricer
 
+	// auctionMu serializes RunAuction: one auctioneer at a time.
+	auctionMu sync.Mutex
+
+	mu       sync.RWMutex
 	balances map[string]float64
 	orders   []*Order
 	ledger   []LedgerEntry
 	history  []*AuctionRecord
 	nextID   int
+	// openBuy is each team's summed positive limits over open orders —
+	// maintained incrementally so Submit's budget check is O(1) instead
+	// of a scan of every order ever booked.
+	openBuy map[string]float64
 }
 
 // NewExchange wires an exchange to a fleet. The registry is derived from
@@ -173,6 +241,7 @@ func NewExchange(fleet *cluster.Fleet, cfg Config) (*Exchange, error) {
 		catalog:  StandardCatalog(),
 		pricer:   reserve.NewPricer(cfg.Weight),
 		balances: map[string]float64{OperatorAccount: 0},
+		openBuy:  make(map[string]float64),
 	}, nil
 }
 
@@ -191,6 +260,8 @@ func (e *Exchange) OpenAccount(team string) error {
 	if team == "" || team == OperatorAccount {
 		return fmt.Errorf("market: invalid team name %q", team)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, ok := e.balances[team]; ok {
 		return fmt.Errorf("market: account %q exists", team)
 	}
@@ -200,6 +271,8 @@ func (e *Exchange) OpenAccount(team string) error {
 
 // Balance returns the team's budget balance.
 func (e *Exchange) Balance(team string) (float64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	b, ok := e.balances[team]
 	if !ok {
 		return 0, fmt.Errorf("market: no account %q", team)
@@ -208,43 +281,57 @@ func (e *Exchange) Balance(team string) (float64, error) {
 }
 
 // Submit places an order for team with the given bid. Buy-side limits
-// must be covered by the team's balance.
+// must be covered by the team's balance. The bid is cloned before entry
+// — core.NewAuction holds bids by reference, so the caller's value must
+// stay untouched by the exchange — and the returned Order is a snapshot;
+// poll Order/Orders for settlement status.
 func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
+	if bid == nil {
+		return nil, errors.New("market: nil bid")
+	}
+	b := *bid
+	// Deep-copy the bundles: the clock reads booked bids lock-free, so
+	// the caller must be free to reuse its vectors after Submit returns.
+	b.Bundles = make([]resource.Vector, len(bid.Bundles))
+	for i, v := range bid.Bundles {
+		b.Bundles[i] = v.Clone()
+	}
+	b.BundleLimits = append([]float64(nil), bid.BundleLimits...)
+	if b.User == "" {
+		b.User = team
+	}
+	if err := b.Validate(e.reg.Len()); err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	bal, ok := e.balances[team]
 	if !ok {
 		return nil, fmt.Errorf("market: no account %q", team)
 	}
-	if bid == nil {
-		return nil, errors.New("market: nil bid")
-	}
-	if bid.User == "" {
-		bid.User = team
-	}
-	if err := bid.Validate(e.reg.Len()); err != nil {
-		return nil, err
-	}
-	if bid.Limit > 0 {
-		committed := e.openBuyCommitment(team)
-		if bid.Limit+committed > bal {
+	// MaxLimit is the bid's worst-case payment exposure: the scalar
+	// Limit, or the largest per-bundle limit for vector-π bids.
+	if exp := b.MaxLimit(); exp > 0 {
+		committed := e.openBuy[team]
+		if exp+committed > bal {
 			return nil, fmt.Errorf("market: %q limit %.2f exceeds available budget %.2f",
-				team, bid.Limit, bal-committed)
+				team, exp, bal-committed)
 		}
+		e.openBuy[team] = committed + exp
 	}
-	o := &Order{ID: e.nextID, Team: team, Bid: bid, Status: Open, Auction: -1}
+	o := &Order{ID: e.nextID, Team: team, Bid: &b, Status: Open, Auction: -1}
 	e.nextID++
 	e.orders = append(e.orders, o)
-	return o, nil
+	return o.snapshot(), nil
 }
 
-// openBuyCommitment sums the positive limits of the team's open orders.
-func (e *Exchange) openBuyCommitment(team string) float64 {
-	var s float64
-	for _, o := range e.orders {
-		if o.Team == team && o.Status == Open && o.Bid.Limit > 0 {
-			s += o.Bid.Limit
-		}
+// releaseCommitmentLocked removes an order leaving the Open state from
+// its team's running buy commitment. Callers must hold e.mu.
+func (e *Exchange) releaseCommitmentLocked(o *Order) {
+	if exp := o.Bid.MaxLimit(); exp > 0 {
+		e.openBuy[o.Team] -= exp
 	}
-	return s
 }
 
 // SubmitProduct is the two-step bid entry path of Figure 4: the team
@@ -281,22 +368,43 @@ func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []s
 	return e.Submit(team, bid)
 }
 
-// Cancel withdraws an open order.
+// Cancel withdraws an open order. An order whose batch is currently
+// being settled by an in-flight auction cannot be withdrawn — its bid
+// is already in the clock, and counterparty allocations depend on it.
 func (e *Exchange) Cancel(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, o := range e.orders {
 		if o.ID == id {
 			if o.Status != Open {
 				return fmt.Errorf("market: order %d is %s", id, o.Status)
 			}
+			if o.inAuction {
+				return fmt.Errorf("market: order %d is in a settling auction", id)
+			}
 			o.Status = Cancelled
+			e.releaseCommitmentLocked(o)
 			return nil
 		}
 	}
 	return fmt.Errorf("market: no order %d", id)
 }
 
-// OpenOrders returns the orders awaiting the next auction.
-func (e *Exchange) OpenOrders() []*Order {
+// Order returns a snapshot of the order with the given id.
+func (e *Exchange) Order(id int) (*Order, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, o := range e.orders {
+		if o.ID == id {
+			return o.snapshot(), nil
+		}
+	}
+	return nil, fmt.Errorf("market: no order %d", id)
+}
+
+// openOrdersLocked returns the live open orders (internal pointers).
+// Callers must hold e.mu.
+func (e *Exchange) openOrdersLocked() []*Order {
 	var out []*Order
 	for _, o := range e.orders {
 		if o.Status == Open {
@@ -306,14 +414,77 @@ func (e *Exchange) OpenOrders() []*Order {
 	return out
 }
 
-// Orders returns every order ever submitted.
-func (e *Exchange) Orders() []*Order { return e.orders }
+// OpenOrderCount returns the number of orders awaiting the next
+// auction, without snapshotting them.
+func (e *Exchange) OpenOrderCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, o := range e.orders {
+		if o.Status == Open {
+			n++
+		}
+	}
+	return n
+}
 
-// Ledger returns the billing entries.
-func (e *Exchange) Ledger() []LedgerEntry { return e.ledger }
+// OpenOrders returns snapshots of the orders awaiting the next auction.
+func (e *Exchange) OpenOrders() []*Order {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Order
+	for _, o := range e.openOrdersLocked() {
+		out = append(out, o.snapshot())
+	}
+	return out
+}
 
-// History returns the settled auction records.
-func (e *Exchange) History() []*AuctionRecord { return e.history }
+// lastClearingPricesLocked returns the prices of the most recent
+// converged auction, or nil when none exists. A failed clock's final
+// prices are not clearing prices and must never be displayed as market
+// prices. Callers must hold e.mu.
+func (e *Exchange) lastClearingPricesLocked() resource.Vector {
+	for i := len(e.history) - 1; i >= 0; i-- {
+		if e.history[i].Converged {
+			return e.history[i].Prices
+		}
+	}
+	return nil
+}
+
+// LastClearingPrices returns the settlement prices of the most recent
+// converged auction, or nil before the first one.
+func (e *Exchange) LastClearingPrices() resource.Vector {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lastClearingPricesLocked()
+}
+
+// Orders returns snapshots of every order ever submitted.
+func (e *Exchange) Orders() []*Order {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*Order, len(e.orders))
+	for i, o := range e.orders {
+		out[i] = o.snapshot()
+	}
+	return out
+}
+
+// Ledger returns a copy of the billing entries.
+func (e *Exchange) Ledger() []LedgerEntry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]LedgerEntry(nil), e.ledger...)
+}
+
+// History returns the settled auction records. Records are immutable
+// once appended, so only the slice is copied.
+func (e *Exchange) History() []*AuctionRecord {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*AuctionRecord(nil), e.history...)
+}
 
 // ReservePrices computes the current congestion-weighted reserve price
 // vector p̃ = φ(ψ)·c from live fleet utilization (Section IV).
@@ -343,11 +514,16 @@ func (e *Exchange) operatorSupply() *core.Bid {
 	return &core.Bid{User: OperatorAccount, Bundles: []resource.Vector{supply}, Limit: -0.000001}
 }
 
-// assemble maps open orders plus operator supply into clock-auction bids.
+// assemble snapshots the open batch and maps it, plus operator supply,
+// into clock-auction bids without claiming the batch (the non-binding
+// path used by PreliminaryPrices). Bids are frozen, so reading them
+// lock-free afterwards is safe.
 func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
-	open := e.OpenOrders()
+	e.mu.RLock()
+	open := e.openOrdersLocked()
+	e.mu.RUnlock()
 	if len(open) == 0 {
-		return nil, nil, errors.New("market: no open orders")
+		return nil, nil, ErrNoOpenOrders
 	}
 	bids := make([]*core.Bid, 0, len(open)+1)
 	for _, o := range open {
@@ -357,6 +533,40 @@ func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
 		bids = append(bids, op)
 	}
 	return bids, open, nil
+}
+
+// claimBatch assembles the open batch for a binding auction and marks
+// every order in it as in-auction, so it cannot be cancelled while the
+// clock runs. The batch must later be released — by settlement or by
+// releaseBatch on an error path.
+func (e *Exchange) claimBatch() ([]*core.Bid, []*Order, error) {
+	e.mu.Lock()
+	open := e.openOrdersLocked()
+	for _, o := range open {
+		o.inAuction = true
+	}
+	e.mu.Unlock()
+	if len(open) == 0 {
+		return nil, nil, ErrNoOpenOrders
+	}
+	bids := make([]*core.Bid, 0, len(open)+1)
+	for _, o := range open {
+		bids = append(bids, o.Bid)
+	}
+	if op := e.operatorSupply(); op != nil {
+		bids = append(bids, op)
+	}
+	return bids, open, nil
+}
+
+// releaseBatch clears the in-auction marks after an auction that never
+// reached settlement.
+func (e *Exchange) releaseBatch(open []*Order) {
+	e.mu.Lock()
+	for _, o := range open {
+		o.inAuction = false
+	}
+	e.mu.Unlock()
 }
 
 // PreliminaryPrices runs a non-binding simulation of the clock auction
@@ -393,13 +603,27 @@ func (e *Exchange) PreliminaryPrices() (resource.Vector, error) {
 // the clock, settles payments into accounts and the billing ledger,
 // adjusts fleet quotas, marks orders won/lost, and appends an
 // AuctionRecord. The core result is returned for inspection.
+//
+// Auctions are serialized (one auctioneer), but the clock itself runs
+// without holding the book lock: submits and reads proceed concurrently,
+// and orders arriving mid-run join the next batch. Orders already in the
+// settling batch are claimed for its duration and cannot be cancelled.
+//
+// A clock that fails to converge (core.ErrNoConvergence) stopped at
+// non-clearing prices, so nothing settles: orders stay Open for the next
+// epoch, no money moves, and the appended record shows Converged=false
+// with zero settled orders.
 func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
-	bids, open, err := e.assemble()
+	e.auctionMu.Lock()
+	defer e.auctionMu.Unlock()
+
+	bids, open, err := e.claimBatch()
 	if err != nil {
 		return nil, nil, err
 	}
 	start, err := e.ReservePrices()
 	if err != nil {
+		e.releaseBatch(open)
 		return nil, nil, err
 	}
 	a, err := core.NewAuction(e.reg, bids, core.Config{
@@ -410,13 +634,17 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		Parallel:  e.cfg.Parallel,
 	})
 	if err != nil {
+		e.releaseBatch(open)
 		return nil, nil, err
 	}
 	res, runErr := a.Run()
 	if runErr != nil && res == nil {
+		e.releaseBatch(open)
 		return nil, nil, runErr
 	}
 
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	num := len(e.history) + 1
 	rec := &AuctionRecord{
 		Number:    num,
@@ -426,9 +654,31 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		Converged: res.Converged,
 		Submitted: len(open),
 	}
+	if runErr != nil {
+		// Failed clock: the final prices are not clearing prices, so
+		// settling them would move money at arbitrary levels. Record the
+		// attempt and leave the batch open — but retire orders whose
+		// batch has now failed MaxAuctionAttempts times, so a cycling
+		// trader pair cannot livelock every future epoch.
+		for _, o := range open {
+			o.inAuction = false
+			o.Attempts++
+			if o.Attempts >= e.cfg.MaxAuctionAttempts {
+				o.Status = Unsettled
+				o.Auction = num
+				e.releaseCommitmentLocked(o)
+			}
+		}
+		e.history = append(e.history, rec)
+		return rec, res, runErr
+	}
 	// Settle orders (indices in `bids` match `open` for i < len(open)).
+	// Every order in the batch is still Open: the in-auction mark blocks
+	// cancellation while the clock runs.
 	for i, o := range open {
+		o.inAuction = false
 		o.Auction = num
+		e.releaseCommitmentLocked(o)
 		if !res.IsWinner(i) {
 			o.Status = Lost
 			continue
@@ -448,14 +698,16 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 	return rec, res, runErr
 }
 
-// applySettlement moves money and quota for one winning order.
+// applySettlement moves money and quota for one winning order. Callers
+// must hold e.mu.
 func (e *Exchange) applySettlement(o *Order, auction int) {
 	e.credit(o.Team, -o.Payment, auction, fmt.Sprintf("order %d settlement", o.ID))
 	e.credit(OperatorAccount, o.Payment, auction, fmt.Sprintf("counterparty for order %d", o.ID))
 	e.fleet.Quotas().ApplyAllocation(e.reg, o.Team, o.Allocation)
 }
 
-// credit adjusts a balance and appends a ledger entry.
+// credit adjusts a balance and appends a ledger entry. Callers must hold
+// e.mu.
 func (e *Exchange) credit(team string, amount float64, auction int, memo string) {
 	e.balances[team] += amount
 	e.ledger = append(e.ledger, LedgerEntry{
@@ -470,6 +722,8 @@ func (e *Exchange) credit(team string, amount float64, auction int, memo string)
 // LedgerBalanced reports whether all ledger entries sum to zero (every
 // debit has a matching credit).
 func (e *Exchange) LedgerBalanced(eps float64) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var s float64
 	for _, le := range e.ledger {
 		s += le.Amount
@@ -477,8 +731,9 @@ func (e *Exchange) LedgerBalanced(eps float64) bool {
 	return s < eps && s > -eps
 }
 
-// Teams lists the non-operator accounts in sorted order.
-func (e *Exchange) Teams() []string {
+// teamsLocked lists the non-operator accounts in sorted order. Callers
+// must hold e.mu.
+func (e *Exchange) teamsLocked() []string {
 	out := make([]string, 0, len(e.balances))
 	for t := range e.balances {
 		if t != OperatorAccount {
@@ -487,4 +742,11 @@ func (e *Exchange) Teams() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Teams lists the non-operator accounts in sorted order.
+func (e *Exchange) Teams() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.teamsLocked()
 }

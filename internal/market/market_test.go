@@ -2,9 +2,11 @@ package market
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"clustermarket/internal/cluster"
@@ -169,6 +171,31 @@ func TestSubmitProductTwoStep(t *testing.T) {
 	}
 	if _, err := e.SubmitProduct("storage-team", "gfs-storage", 1, []string{"mars"}, 10); err == nil {
 		t.Error("unknown cluster accepted")
+	}
+}
+
+// TestCancelRejectedDuringAuction pins quota conservation: an order
+// claimed by an in-flight auction cannot be withdrawn, because its
+// counterparties' allocations are computed assuming its contribution.
+func TestCancelRejectedDuringAuction(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, open, err := e.claimBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(o.ID); err == nil {
+		t.Error("cancel accepted while batch is settling")
+	}
+	e.releaseBatch(open)
+	if err := e.Cancel(o.ID); err != nil {
+		t.Errorf("cancel after batch release: %v", err)
 	}
 }
 
@@ -444,6 +471,7 @@ func TestCatalog(t *testing.T) {
 func TestOrderStatusString(t *testing.T) {
 	for s, want := range map[OrderStatus]string{
 		Open: "open", Won: "won", Lost: "lost", Cancelled: "cancelled",
+		Unsettled: "unsettled",
 	} {
 		if s.String() != want {
 			t.Errorf("%d.String() = %q", int(s), s.String())
@@ -477,7 +505,10 @@ func TestOperatorSupplyRespectsMarketableFraction(t *testing.T) {
 	}
 }
 
-func TestRunAuctionNonConvergencePropagates(t *testing.T) {
+// nonConvergentExchange builds a trader-heavy market that hits MaxRounds:
+// two opposed traders that never clear (see core's non-convergence test).
+func nonConvergentExchange(t *testing.T) *Exchange {
+	t.Helper()
 	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e15, MaxRounds: 100})
 	if err != nil {
 		t.Fatal(err)
@@ -488,8 +519,6 @@ func TestRunAuctionNonConvergencePropagates(t *testing.T) {
 		}
 	}
 	reg := e.Registry()
-	// Two opposed traders that never clear (see core's non-convergence
-	// test): buy 2 in one cluster, sell 1 in the other.
 	mk := func(buyCluster, sellCluster string) *core.Bid {
 		v := reg.Zero()
 		v[reg.MustIndex(resource.Pool{Cluster: buyCluster, Dim: resource.CPU})] = 2000
@@ -502,6 +531,11 @@ func TestRunAuctionNonConvergencePropagates(t *testing.T) {
 	if _, err := e.Submit("t2", mk("r2", "r1")); err != nil {
 		t.Fatal(err)
 	}
+	return e
+}
+
+func TestRunAuctionNonConvergencePropagates(t *testing.T) {
+	e := nonConvergentExchange(t)
 	rec, res, err := e.RunAuction()
 	if !errors.Is(err, core.ErrNoConvergence) {
 		t.Fatalf("err = %v, want ErrNoConvergence", err)
@@ -509,14 +543,358 @@ func TestRunAuctionNonConvergencePropagates(t *testing.T) {
 	if rec == nil || rec.Converged || res.Converged {
 		t.Fatal("non-converged auction not recorded as such")
 	}
-	// The partial settlement is still bookkept consistently.
-	if !e.LedgerBalanced(1e-6) {
-		t.Error("ledger unbalanced after non-convergent auction")
+}
+
+// TestRunAuctionNonConvergenceDoesNotSettle is the regression test for
+// the bug where a clock that hit MaxRounds settled trades anyway: the
+// final prices of a failed clock are not clearing prices, so no money,
+// quota, or order status may move.
+func TestRunAuctionNonConvergenceDoesNotSettle(t *testing.T) {
+	e := nonConvergentExchange(t)
+	rec, _, err := e.RunAuction()
+	if !errors.Is(err, core.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	// Orders stay open for the next epoch.
+	for _, o := range e.Orders() {
+		if o.Status != Open {
+			t.Errorf("order %d settled at non-clearing prices: %s", o.ID, o.Status)
+		}
+		if o.Auction != -1 {
+			t.Errorf("order %d stamped with auction %d", o.ID, o.Auction)
+		}
+	}
+	// No money moved, no quota granted.
+	if got := len(e.Ledger()); got != 0 {
+		t.Errorf("ledger has %d entries after failed clock", got)
+	}
+	for _, team := range []string{"t1", "t2"} {
+		if bal, _ := e.Balance(team); bal != 1e15 {
+			t.Errorf("%s balance = %v, want untouched", team, bal)
+		}
+		for _, cl := range []string{"r1", "r2"} {
+			if q := e.Fleet().Quotas().Granted(team, cl); q.CPU != 0 {
+				t.Errorf("%s quota in %s = %v after failed clock", team, cl, q)
+			}
+		}
+	}
+	// The attempt is still visible in history with nothing settled.
+	if rec.Settled != 0 || rec.SettledFraction() != 0 {
+		t.Errorf("record settled = %d", rec.Settled)
+	}
+	if hist := e.History(); len(hist) != 1 || hist[0].Converged {
+		t.Errorf("history = %+v", hist)
+	}
+}
+
+// TestNonConvergentBatchRetires pins the livelock guard: a batch that
+// fails MaxAuctionAttempts consecutive clocks is retired as Unsettled —
+// without settling anything — so it stops poisoning future epochs.
+func TestNonConvergentBatchRetires(t *testing.T) {
+	e := nonConvergentExchange(t) // default MaxAuctionAttempts = 3
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.RunAuction(); !errors.Is(err, core.ErrNoConvergence) {
+			t.Fatalf("attempt %d: err = %v, want ErrNoConvergence", i+1, err)
+		}
 	}
 	for _, o := range e.Orders() {
-		if o.Status == Open {
-			t.Error("order left open after auction")
+		if o.Status != Unsettled {
+			t.Errorf("order %d = %s after 3 failed clocks, want unsettled", o.ID, o.Status)
 		}
+		if o.Attempts != 3 {
+			t.Errorf("order %d attempts = %d", o.ID, o.Attempts)
+		}
+	}
+	// The book is clear: the next epoch is an idle tick, not a retry.
+	if _, _, err := e.RunAuction(); !errors.Is(err, ErrNoOpenOrders) {
+		t.Fatalf("after retirement err = %v, want ErrNoOpenOrders", err)
+	}
+	// Retirement settled nothing.
+	if got := len(e.Ledger()); got != 0 {
+		t.Errorf("ledger has %d entries", got)
+	}
+	if bal, _ := e.Balance("t1"); bal != 1e15 {
+		t.Errorf("t1 balance = %v", bal)
+	}
+	// Retired buy commitment is released: the team can bid again.
+	reg := e.Registry()
+	v := reg.Zero()
+	v[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})] = 5
+	if _, err := e.Submit("t1", &core.Bid{Bundles: []resource.Vector{v}, Limit: 9e14}); err != nil {
+		t.Errorf("post-retirement submit rejected: %v", err)
+	}
+}
+
+// TestCommitmentReleasedOnSettle pins the incremental open-buy
+// accounting: settling or cancelling an order frees its budget
+// commitment for the next submit.
+func TestCommitmentReleasedOnSettle(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	mk := func(limit float64) *core.Bid {
+		v := reg.Zero()
+		v[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})] = 5
+		return &core.Bid{Bundles: []resource.Vector{v}, Limit: limit}
+	}
+	o, err := e.Submit("a", mk(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("a", mk(900)); err == nil {
+		t.Fatal("overcommit accepted")
+	}
+	// Cancelling releases the commitment.
+	if err := e.Cancel(o.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("a", mk(900)); err != nil {
+		t.Fatalf("commitment not released by cancel: %v", err)
+	}
+	// Settling releases it too.
+	if _, _, err := e.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	bal, _ := e.Balance("a")
+	if _, err := e.Submit("a", mk(bal*0.9)); err != nil {
+		t.Fatalf("commitment not released by settlement: %v", err)
+	}
+}
+
+// TestSubmitDoesNotMutateCallerBid is the regression test for Submit
+// writing bid.User = team into the caller's bid, which core.NewAuction
+// documents must not be mutated.
+func TestSubmitDoesNotMutateCallerBid(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	v := reg.Zero()
+	v[0] = 5
+	caller := &core.Bid{Bundles: []resource.Vector{v}, Limit: 10}
+	o, err := e.Submit("a", caller)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caller.User != "" {
+		t.Errorf("caller's bid mutated: User = %q", caller.User)
+	}
+	if o.Bid.User != "a" {
+		t.Errorf("exchange's bid user = %q, want %q", o.Bid.User, "a")
+	}
+	if o.Bid == caller {
+		t.Error("exchange aliases the caller's bid")
+	}
+	// The clone must be deep: the caller may reuse its vectors after
+	// Submit returns while the clock reads the booked bid lock-free.
+	v[0] = 999
+	if got, _ := e.Order(o.ID); got.Bid.Bundles[0][0] != 5 {
+		t.Errorf("booked bundle aliases caller's vector: %v", got.Bid.Bundles[0])
+	}
+}
+
+// TestFailedClockPricesNotDisplayed pins that a non-convergent clock's
+// final prices never surface as market prices: Summary and PriceHistory
+// must skip records with Converged=false.
+func TestFailedClockPricesNotDisplayed(t *testing.T) {
+	e := nonConvergentExchange(t)
+	if _, _, err := e.RunAuction(); !errors.Is(err, core.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if len(e.History()) != 1 {
+		t.Fatal("failed auction not recorded")
+	}
+	if p := e.LastClearingPrices(); p != nil {
+		t.Errorf("LastClearingPrices = %v after failed clock, want nil", p)
+	}
+	pool := resource.Pool{Cluster: "r1", Dim: resource.CPU}
+	if h := e.PriceHistory(pool); len(h) != 0 {
+		t.Errorf("PriceHistory includes non-clearing prices: %v", h)
+	}
+	// Summary falls back to reserve prices, which for a failed 100-round
+	// clock are far below the runaway clock prices.
+	rows, err := e.Summary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reserve, err := e.ReservePrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	i := reg.MustIndex(pool)
+	if got := rows[0].Price.CPU; math.Abs(got-reserve[i]) > 1e-9 {
+		t.Errorf("summary price = %v, want reserve %v", got, reserve[i])
+	}
+}
+
+// TestReadPathsReturnSnapshots pins the snapshot contract: mutating what
+// the accessors return must not corrupt exchange state.
+func TestReadPathsReturnSnapshots(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	o, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scribbling on the returned order must not affect the book.
+	o.Status = Cancelled
+	if got := e.OpenOrders(); len(got) != 1 {
+		t.Fatalf("open orders = %d after mutating a snapshot", len(got))
+	}
+	orders := e.Orders()
+	orders[0].Status = Cancelled
+	orders[0].Team = "mallory"
+	if got, err := e.Order(o.ID); err != nil || got.Status != Open || got.Team != "a" {
+		t.Errorf("order corrupted through snapshot: %+v (%v)", got, err)
+	}
+	if _, _, err := e.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	led := e.Ledger()
+	if len(led) == 0 {
+		t.Fatal("no ledger entries")
+	}
+	led[0].Amount += 1e9
+	if !e.LedgerBalanced(1e-9) {
+		t.Error("ledger corrupted through snapshot")
+	}
+}
+
+// TestConcurrentTraffic hammers the thread-safe exchange from many
+// goroutines while binding auctions settle (run with -race): submits,
+// cancels, balance reads, and JSON-read-path accessors all in flight.
+func TestConcurrentTraffic(t *testing.T) {
+	e := newTestExchange(t)
+	const teams = 8
+	names := make([]string, teams)
+	for i := range names {
+		names[i] = fmt.Sprintf("team%d", i)
+		if err := e.OpenAccount(names[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var traders sync.WaitGroup
+	stop := make(chan struct{})
+	auctioneerDone := make(chan struct{})
+	// One auctioneer settling continuously.
+	go func() {
+		defer close(auctioneerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := e.RunAuction(); err != nil && !errors.Is(err, ErrNoOpenOrders) {
+				t.Errorf("RunAuction: %v", err)
+				return
+			}
+		}
+	}()
+	// Eight trader goroutines submitting, cancelling, and reading.
+	for g := 0; g < teams; g++ {
+		traders.Add(1)
+		go func(team string) {
+			defer traders.Done()
+			for i := 0; i < 40; i++ {
+				o, err := e.SubmitProduct(team, "batch-compute", 1, []string{"r2"}, 3)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				if i%4 == 0 {
+					// Cancel may legitimately lose the race with the
+					// settling auction.
+					_ = e.Cancel(o.ID)
+				}
+				if _, err := e.Balance(team); err != nil {
+					t.Errorf("balance: %v", err)
+				}
+				_ = e.OpenOrders()
+				_ = e.Orders()
+				_ = e.Ledger()
+				_ = e.History()
+				if _, err := e.Summary(); err != nil {
+					t.Errorf("summary: %v", err)
+				}
+				if i%8 == 0 {
+					// Disburse reads the quota ledger that the settling
+					// auction writes; it must hold the book lock.
+					if err := e.Disburse(ProportionalToQuota, 10); err != nil {
+						t.Errorf("disburse: %v", err)
+					}
+				}
+			}
+		}(names[g])
+	}
+	// Wait for traders, then stop the auctioneer.
+	traders.Wait()
+	close(stop)
+	<-auctioneerDone
+
+	// Drain the book and check the books balance.
+	if _, _, err := e.RunAuction(); err != nil && !errors.Is(err, ErrNoOpenOrders) {
+		t.Fatal(err)
+	}
+	if !e.LedgerBalanced(1e-6) {
+		t.Error("ledger unbalanced after concurrent traffic")
+	}
+	for _, o := range e.Orders() {
+		if o.Status == Won && o.Auction <= 0 {
+			t.Errorf("won order %d missing auction stamp", o.ID)
+		}
+	}
+	// The incremental open-buy commitment must agree with a full scan.
+	e.mu.RLock()
+	scan := make(map[string]float64)
+	for _, o := range e.orders {
+		if o.Status == Open && o.Bid.MaxLimit() > 0 {
+			scan[o.Team] += o.Bid.MaxLimit()
+		}
+	}
+	for team, got := range e.openBuy {
+		if math.Abs(got-scan[team]) > 1e-9 {
+			t.Errorf("openBuy[%s] = %v, scan says %v", team, got, scan[team])
+		}
+	}
+	e.mu.RUnlock()
+}
+
+// TestVectorPiBidBudgetEnforced is the regression test for the budget
+// check only looking at the scalar Limit: a vector-π bid's exposure is
+// its largest per-bundle limit, which must be covered by the balance.
+func TestVectorPiBidBudgetEnforced(t *testing.T) {
+	e := newTestExchange(t) // InitialBudget 1000
+	if err := e.OpenAccount("vp"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	mk := func(lim1, lim2 float64) *core.Bid {
+		b1 := reg.Zero()
+		b1[reg.MustIndex(resource.Pool{Cluster: "r1", Dim: resource.CPU})] = 5
+		b2 := reg.Zero()
+		b2[reg.MustIndex(resource.Pool{Cluster: "r2", Dim: resource.CPU})] = 5
+		return &core.Bid{Bundles: []resource.Vector{b1, b2}, BundleLimits: []float64{lim1, lim2}}
+	}
+	// Exposure 5000 > balance 1000 even though scalar Limit is zero.
+	if _, err := e.Submit("vp", mk(5000, 200)); err == nil {
+		t.Fatal("vector-pi bid over budget accepted")
+	}
+	// Within budget: accepted, and its exposure counts against the next.
+	if _, err := e.Submit("vp", mk(700, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("vp", mk(400, 100)); err == nil {
+		t.Error("aggregate vector-pi overcommit accepted")
+	}
+	if _, err := e.Submit("vp", mk(300, 100)); err != nil {
+		t.Errorf("within-budget vector-pi bid rejected: %v", err)
 	}
 }
 

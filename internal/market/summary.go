@@ -21,21 +21,14 @@ type ClusterSummary struct {
 // Prices come from the most recent auction, falling back to current
 // reserve prices before the first auction.
 func (e *Exchange) Summary() ([]ClusterSummary, error) {
-	var prices resource.Vector
-	if len(e.history) > 0 {
-		prices = e.history[len(e.history)-1].Prices
-	} else {
-		var err error
-		prices, err = e.ReservePrices()
-		if err != nil {
-			return nil, err
-		}
-	}
-
+	// Snapshot book state under one read lock, then price and render
+	// without holding it.
+	e.mu.RLock()
+	prices := e.lastClearingPricesLocked()
 	// Count open interest per cluster.
 	bidCount := make(map[string]int)
 	offerCount := make(map[string]int)
-	for _, o := range e.OpenOrders() {
+	for _, o := range e.openOrdersLocked() {
 		side := o.Side()
 		touched := make(map[string]bool)
 		for _, b := range o.Bid.Bundles {
@@ -58,6 +51,15 @@ func (e *Exchange) Summary() ([]ClusterSummary, error) {
 			}
 		}
 	}
+	e.mu.RUnlock()
+
+	if prices == nil {
+		var err error
+		prices, err = e.ReservePrices()
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	var out []ClusterSummary
 	for _, name := range e.fleet.ClusterNames() {
@@ -75,15 +77,22 @@ func (e *Exchange) Summary() ([]ClusterSummary, error) {
 	return out, nil
 }
 
-// PriceHistory returns the settlement price of one pool across auctions,
-// oldest first (the sparkline data on the market front end).
+// PriceHistory returns the settlement price of one pool across
+// converged auctions, oldest first (the sparkline data on the market
+// front end). Failed clocks stopped at non-clearing prices and are
+// excluded.
 func (e *Exchange) PriceHistory(pool resource.Pool) []float64 {
 	i, ok := e.reg.Index(pool)
 	if !ok {
 		return nil
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	out := make([]float64, 0, len(e.history))
 	for _, rec := range e.history {
+		if !rec.Converged {
+			continue
+		}
 		out = append(out, rec.Prices[i])
 	}
 	return out

@@ -247,6 +247,24 @@ func (w *World) RunAuction() (*AuctionOutcome, error) {
 	if err != nil && res == nil {
 		return nil, err
 	}
+	if err != nil {
+		// Non-convergent round: the exchange settled nothing and left
+		// the round's orders open, so nothing may be applied to the
+		// bidder population or the physical clusters, and the failed
+		// clock's non-clearing prices must not become the next round's
+		// reference prices (LastPrices keeps its last converged value).
+		// Withdraw the leftovers so the next round's auction result
+		// indices align with its own submissions.
+		for _, o := range w.Exchange.OpenOrders() {
+			_ = w.Exchange.Cancel(o.ID)
+		}
+		return &AuctionOutcome{
+			Record:         rec,
+			Result:         res,
+			PreUtilization: util,
+			SkippedBids:    skipped,
+		}, nil
+	}
 	w.LastPrices = rec.Prices
 
 	// Update the bidder population (migration, sold holdings,

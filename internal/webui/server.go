@@ -12,16 +12,18 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
 )
 
-// Server exposes one Exchange over HTTP. The Exchange itself is not
-// concurrency-safe, so every handler holds the server mutex.
+// Server exposes one Exchange over HTTP. The Exchange is safe for
+// concurrent use, so handlers call it directly — no server-wide lock
+// serializes requests, and the epoch auction loop can settle while
+// traffic is in flight.
 type Server struct {
-	mu sync.Mutex
 	ex *market.Exchange
 
 	mux       *http.ServeMux
@@ -31,7 +33,18 @@ type Server struct {
 	bidDone   *template.Template
 	orders    *template.Template
 	teamsPage *template.Template
+
+	// The preliminary-prices endpoint runs a full clock simulation per
+	// call; this single-flight cache keeps N polling browser tabs from
+	// running N simulations over the same book.
+	pricesMu  sync.Mutex
+	pricesAt  time.Time
+	pricesVal map[string]float64
 }
+
+// pricesTTL bounds how stale the cached preliminary prices may be — the
+// "periodic intervals during the bid collection phase" of Section V.A.
+const pricesTTL = time.Second
 
 // New builds a Server around the exchange.
 func New(ex *market.Exchange) *Server {
@@ -79,8 +92,6 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	rows, err := s.ex.Summary()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -92,7 +103,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		Rows       []summaryRow
 	}{
 		Auctions:   len(s.ex.History()),
-		OpenOrders: len(s.ex.OpenOrders()),
+		OpenOrders: s.ex.OpenOrderCount(),
 	}
 	for _, row := range rows {
 		sr := summaryRow{ClusterSummary: row}
@@ -136,8 +147,6 @@ func sparkline(xs []float64) string {
 }
 
 func (s *Server) handleBidStep1(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	view := struct {
 		Error    string
 		Team     string
@@ -163,8 +172,6 @@ func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
 	team := strings.TrimSpace(r.FormValue("team"))
 	productName := r.FormValue("product")
@@ -230,8 +237,6 @@ func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 
 	team := strings.TrimSpace(r.FormValue("team"))
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
@@ -258,15 +263,11 @@ func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	view := struct{ Orders []*market.Order }{Orders: s.ex.Orders()}
 	render(w, s.orders, view)
 }
 
 func (s *Server) handleTeams(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	type teamRow struct {
 		Name    string
 		Balance float64
@@ -287,9 +288,7 @@ func (s *Server) handleRunAuction(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	s.mu.Lock()
 	_, _, err := s.ex.RunAuction()
-	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
@@ -298,9 +297,7 @@ func (s *Server) handleRunAuction(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSummaryJSON(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	rows, err := s.ex.Summary()
-	s.mu.Unlock()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -310,14 +307,22 @@ func (s *Server) handleSummaryJSON(w http.ResponseWriter, r *http.Request) {
 
 // handlePricesJSON returns the preliminary settlement prices over the
 // open orders — the Figure 5 feedback loop during the bid window. When no
-// orders are open it falls back to reserve prices.
+// orders are open it falls back to reserve prices. Results are cached
+// for pricesTTL and computed under a single-flight lock: concurrent
+// pollers share one clock simulation instead of each running their own.
 func (s *Server) handlePricesJSON(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pricesMu.Lock()
+	if s.pricesVal != nil && time.Since(s.pricesAt) < pricesTTL {
+		out := s.pricesVal
+		s.pricesMu.Unlock()
+		writeJSON(w, out)
+		return
+	}
 	prices, err := s.ex.PreliminaryPrices()
 	if err != nil {
 		prices, err = s.ex.ReservePrices()
 		if err != nil {
+			s.pricesMu.Unlock()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -327,6 +332,9 @@ func (s *Server) handlePricesJSON(w http.ResponseWriter, r *http.Request) {
 	for i := 0; i < reg.Len(); i++ {
 		out[reg.Pool(i).String()] = prices[i]
 	}
+	s.pricesVal = out
+	s.pricesAt = time.Now()
+	s.pricesMu.Unlock()
 	writeJSON(w, out)
 }
 
@@ -338,9 +346,7 @@ func (s *Server) handleHistoryJSON(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
 	hist := s.ex.PriceHistory(resource.Pool{Cluster: clusterName, Dim: dim})
-	s.mu.Unlock()
 	if hist == nil {
 		http.Error(w, "unknown pool", http.StatusNotFound)
 		return
@@ -349,11 +355,11 @@ func (s *Server) handleHistoryJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // currentPrices returns the best available price vector for display: the
-// last settlement when one exists, otherwise the live reserve prices.
-// Callers must hold s.mu.
+// last converged settlement when one exists (a failed clock's prices are
+// not clearing prices), otherwise the live reserve prices.
 func (s *Server) currentPrices() (resource.Vector, error) {
-	if hist := s.ex.History(); len(hist) > 0 {
-		return hist[len(hist)-1].Prices, nil
+	if p := s.ex.LastClearingPrices(); p != nil {
+		return p, nil
 	}
 	return s.ex.ReservePrices()
 }
@@ -372,7 +378,6 @@ type auctionView struct {
 // handleAuctionsJSON returns the settled auction history with the
 // Table I premium statistics per auction.
 func (s *Server) handleAuctionsJSON(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	hist := s.ex.History()
 	out := make([]auctionView, 0, len(hist))
 	for _, rec := range hist {
@@ -386,7 +391,6 @@ func (s *Server) handleAuctionsJSON(w http.ResponseWriter, r *http.Request) {
 			PremiumMean:   rec.PremiumMean(),
 		})
 	}
-	s.mu.Unlock()
 	writeJSON(w, out)
 }
 

@@ -1,6 +1,7 @@
 package webui
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,7 +10,9 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/market"
@@ -270,6 +273,43 @@ func TestJSONEndpoints(t *testing.T) {
 	}
 }
 
+// TestPricesJSONCached pins the single-flight cache on the expensive
+// preliminary-prices simulation: within the TTL, pollers get the cached
+// vector instead of each running a clock simulation.
+func TestPricesJSONCached(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	_, first := get(t, ts, "/api/prices.json")
+	// Change the book; a cached response must still be served within TTL.
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 1, []string{"r2"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, second := get(t, ts, "/api/prices.json"); second != first {
+		t.Error("prices.json recomputed within TTL")
+	}
+	// Concurrent pollers all succeed (and share the cache).
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			resp, err := http.Get(ts.URL + "/api/prices.json")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}
+
 func TestSparkline(t *testing.T) {
 	if got := sparkline(nil); got != "-" {
 		t.Errorf("empty sparkline = %q", got)
@@ -337,8 +377,9 @@ func TestConcurrentRequests(t *testing.T) {
 	if _, err := ex.SubmitProduct("web-team", "batch-compute", 1, []string{"r2"}, 100); err != nil {
 		t.Fatal(err)
 	}
-	// Hammer mixed read endpoints concurrently; the server mutex must
-	// keep the non-thread-safe exchange consistent (run with -race).
+	// Hammer mixed read endpoints concurrently; the exchange's own
+	// locking must keep them consistent — there is no server mutex
+	// serializing requests any more (run with -race).
 	done := make(chan error, 24)
 	for i := 0; i < 24; i++ {
 		path := []string{"/", "/orders", "/teams", "/api/summary.json"}[i%4]
@@ -357,5 +398,71 @@ func TestConcurrentRequests(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestParallelTrafficWithEpochLoop fires parallel read and write
+// requests at the server while an epoch auction loop settles the book —
+// the acceptance scenario for the concurrent Exchange (run with -race).
+func TestParallelTrafficWithEpochLoop(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	loopDone := make(chan struct{})
+	go func() { defer close(loopDone); ex.Serve(ctx, time.Millisecond) }()
+
+	const workers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch w % 4 {
+				case 0: // bid entry
+					form := url.Values{
+						"team":     {"web-team"},
+						"product":  {"batch-compute"},
+						"qty":      {"1"},
+						"clusters": {"r2"},
+						"limit":    {"30"},
+					}
+					resp, err := http.PostForm(ts.URL+"/bid/submit", form)
+					if err != nil {
+						t.Errorf("submit: %v", err)
+						return
+					}
+					resp.Body.Close()
+				case 1: // manual settlement racing the loop
+					resp, err := http.PostForm(ts.URL+"/auction/run", nil)
+					if err != nil {
+						t.Errorf("auction: %v", err)
+						return
+					}
+					// Conflict (empty book) is legitimate here.
+					resp.Body.Close()
+				default: // reads
+					p := []string{"/", "/orders", "/teams", "/api/summary.json", "/api/auctions.json"}[i%5]
+					resp, err := http.Get(ts.URL + p)
+					if err != nil {
+						t.Errorf("get %s: %v", p, err)
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", p, resp.StatusCode)
+					}
+					resp.Body.Close()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cancel()
+	<-loopDone
+
+	if !ex.LedgerBalanced(1e-6) {
+		t.Error("ledger unbalanced after parallel traffic")
 	}
 }
