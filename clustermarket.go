@@ -35,6 +35,7 @@ import (
 	"clustermarket/internal/bidlang"
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
+	"clustermarket/internal/federation"
 	"clustermarket/internal/market"
 	"clustermarket/internal/optimize"
 	"clustermarket/internal/reserve"
@@ -194,6 +195,41 @@ func NewMarketLoop(ex *Exchange, epoch time.Duration) (*MarketLoop, error) {
 
 // NewWebUI returns the trading platform's HTTP handler (Figures 3–5).
 func NewWebUI(ex *Exchange) *webui.Server { return webui.New(ex) }
+
+// Federated multi-region market (beyond the paper; see DESIGN.md).
+type (
+	// Region is one autonomous regional market: an Exchange over its own
+	// fleet, namespaced by region.
+	Region = federation.Region
+	// Federation fronts N regions behind one API, routing bids to their
+	// home exchange and splitting cross-region XOR bids into per-region
+	// legs ordered cheapest-first by the gossip price board.
+	Federation = federation.Federation
+	// FedOrder is one federated order with its routing legs; at most one
+	// leg ever wins.
+	FedOrder = federation.FedOrder
+	// RegionQuote is one region's price-board entry.
+	RegionQuote = federation.Quote
+	// FederationStats counts the router's outcomes.
+	FederationStats = federation.Stats
+)
+
+// NewRegion wires a regional exchange to its fleet.
+func NewRegion(name string, f *Fleet, cfg ExchangeConfig) (*Region, error) {
+	return federation.NewRegion(name, f, cfg)
+}
+
+// NewFederation assembles regions into one federated market. Run it with
+// Federation.Serve(ctx, epoch): every region settles its own epoch
+// batches concurrently.
+func NewFederation(regions ...*Region) (*Federation, error) {
+	return federation.NewFederation(regions...)
+}
+
+// NewFederatedWebUI returns the federation's global HTTP front end: the
+// planet-wide market summary with per-region drill-downs under
+// /region/<name>/.
+func NewFederatedWebUI(f *Federation) *webui.FedServer { return webui.NewFederated(f) }
 
 // Explicitly-optimizing allocation (Section III.C.4 / VI future work).
 type (

@@ -8,72 +8,202 @@
 // enter bids. With -epoch set, accumulated orders settle automatically
 // in one clock auction per epoch; POST /auction/run forces a settlement
 // at any time (and is the only way to settle when -epoch is 0).
+//
+// With -regions N (N ≥ 2), marketd builds a federated world instead: N
+// regional markets, each with its own fleet and epoch loop, fronted by
+// the global market view at / with per-region drill-downs under
+// /region/<name>/. The first region runs hot so cross-region bids
+// visibly route toward the cheaper regions.
+//
+// marketd shuts down cleanly on SIGINT/SIGTERM: the epoch loops are
+// cancelled and the HTTP server drains in-flight requests before exit.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"clustermarket/internal/cluster"
+	"clustermarket/internal/federation"
 	"clustermarket/internal/market"
 	"clustermarket/internal/webui"
 )
 
+// shutdownTimeout bounds how long in-flight HTTP requests may drain
+// after a termination signal.
+const shutdownTimeout = 5 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	clusters := flag.Int("clusters", 8, "number of clusters")
+	clusters := flag.Int("clusters", 8, "number of clusters (per region with -regions)")
 	machines := flag.Int("machines", 20, "machines per cluster")
 	seed := flag.Int64("seed", 42, "random seed for the demo load")
 	budget := flag.Float64("budget", 10000, "initial budget per team")
 	epoch := flag.Duration("epoch", 30*time.Second,
 		"auction epoch: settle accumulated orders every interval (0 disables the loop)")
+	regions := flag.Int("regions", 0,
+		"number of federated regions (0 = single exchange, ≥2 = federated market)")
 	flag.Parse()
 
-	ex, err := buildDemo(*clusters, *machines, *seed, *budget)
-	if err != nil {
-		log.Fatal("marketd: ", err)
+	if err := validateFlags(*clusters, *machines, *regions, *budget, *epoch); err != nil {
+		fmt.Fprintf(os.Stderr, "marketd: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	if *epoch > 0 {
-		loop, err := market.NewLoop(ex, *epoch)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var handler http.Handler
+	if *regions > 0 {
+		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
-		loop.OnTick = func(rec *market.AuctionRecord, err error) {
-			if err != nil {
-				log.Printf("marketd: epoch auction: %v", err)
-				return
-			}
-			log.Printf("marketd: auction %d settled %d/%d orders in %d rounds",
-				rec.Number, rec.Settled, rec.Submitted, rec.Rounds)
+		if *epoch > 0 {
+			go fed.Serve(ctx, *epoch)
+			log.Printf("marketd: %d region epoch loops settling every %s", *regions, *epoch)
+		} else {
+			log.Printf("marketd: epoch loops disabled; settle per region via POST /region/<name>/auction/run")
 		}
-		go loop.Run(context.Background())
-		log.Printf("marketd: epoch auction loop settling every %s", *epoch)
+		handler = webui.NewFederated(fed)
+		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		log.Printf("marketd: epoch loop disabled; settle via POST /auction/run")
+		ex, err := buildDemo(*clusters, *machines, *seed, *budget)
+		if err != nil {
+			log.Fatal("marketd: ", err)
+		}
+		if *epoch > 0 {
+			loop, err := market.NewLoop(ex, *epoch)
+			if err != nil {
+				log.Fatal("marketd: ", err)
+			}
+			loop.OnTick = func(rec *market.AuctionRecord, err error) {
+				if err != nil {
+					log.Printf("marketd: epoch auction: %v", err)
+					return
+				}
+				log.Printf("marketd: auction %d settled %d/%d orders in %d rounds",
+					rec.Number, rec.Settled, rec.Submitted, rec.Rounds)
+			}
+			go loop.Run(ctx)
+			log.Printf("marketd: epoch auction loop settling every %s", *epoch)
+		} else {
+			log.Printf("marketd: epoch loop disabled; settle via POST /auction/run")
+		}
+		handler = webui.New(ex)
+		log.Printf("marketd: serving trading platform on %s", *addr)
 	}
-	log.Printf("marketd: serving trading platform on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, webui.New(ex)))
+
+	if err := serve(ctx, *addr, handler); err != nil {
+		log.Fatal("marketd: ", err)
+	}
+	log.Printf("marketd: shut down cleanly")
 }
 
-func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exchange, error) {
-	rng := rand.New(rand.NewSource(seed))
+// serve listens on addr and runs serveListener.
+func serve(ctx context.Context, addr string, handler http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, ln, handler)
+}
+
+// serveListener runs an HTTP server on ln until ctx is cancelled
+// (SIGINT/SIGTERM), then drains in-flight requests for up to
+// shutdownTimeout. A nil return means a clean shutdown.
+func serveListener(ctx context.Context, ln net.Listener, handler http.Handler) error {
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		// Serving failed before any signal.
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("marketd: signal received, draining (max %s)", shutdownTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// validateFlags rejects demo-world parameters that would panic or build
+// a silently broken market.
+func validateFlags(clusters, machines, regions int, budget float64, epoch time.Duration) error {
+	if clusters < 1 {
+		return fmt.Errorf("-clusters must be at least 1, got %d", clusters)
+	}
+	if machines < 1 {
+		return fmt.Errorf("-machines must be at least 1, got %d", machines)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("-budget must be positive, got %g", budget)
+	}
+	if epoch < 0 {
+		return fmt.Errorf("-epoch must not be negative, got %s", epoch)
+	}
+	if regions < 0 {
+		return fmt.Errorf("-regions must not be negative, got %d", regions)
+	}
+	if regions == 1 {
+		return errors.New("-regions needs at least 2 regions to federate (use 0 for a single exchange)")
+	}
+	return nil
+}
+
+// regionNames is the palette of demo region names; beyond it, regions
+// are named g<i>.
+var regionNames = []string{"us", "eu", "asia", "sam", "africa", "oceania", "india", "japan"}
+
+func regionName(i int) string {
+	if i < len(regionNames) {
+		return regionNames[i]
+	}
+	return fmt.Sprintf("g%d", i+1)
+}
+
+// demoTeams are the funded accounts of the demo world.
+var demoTeams = []string{"search", "ads", "maps", "mail", "storage"}
+
+// buildRegionFleet assembles one region's clusters with the demo's
+// hot/cold contrast: hot regions run mostly congested, others mostly
+// idle with the occasional warm cluster.
+func buildRegionFleet(rng *rand.Rand, prefix string, clusters, machines int, hot bool) (*cluster.Fleet, error) {
 	fleet := cluster.NewFleet()
 	for i := 1; i <= clusters; i++ {
-		name := fmt.Sprintf("r%d", i)
+		name := fmt.Sprintf("%sr%d", prefix, i)
 		c := cluster.New(name, nil)
 		c.AddMachines(machines, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
 		if err := fleet.AddCluster(c); err != nil {
 			return nil, err
 		}
-		// The first cluster always runs hot so the market summary shows
-		// price contrast; a third of the rest join it.
+		// A hot region's first cluster always runs congested so the market
+		// summary shows price contrast; a third of the rest join it. Cold
+		// regions get the occasional warm cluster.
 		var target cluster.Usage
-		if i == 1 || rng.Float64() < 0.33 {
+		congested := hot && (i == 1 || rng.Float64() < 0.33)
+		if !hot && i > 1 && rng.Float64() < 0.2 {
+			congested = true
+		}
+		if congested {
 			target = cluster.Usage{CPU: 0.85, RAM: 0.8, Disk: 0.8}
 		} else {
 			target = cluster.Usage{CPU: 0.25, RAM: 0.3, Disk: 0.2}
@@ -82,14 +212,54 @@ func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exch
 			return nil, err
 		}
 	}
+	return fleet, nil
+}
+
+func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exchange, error) {
+	rng := rand.New(rand.NewSource(seed))
+	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
+	if err != nil {
+		return nil, err
+	}
 	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget})
 	if err != nil {
 		return nil, err
 	}
-	for _, team := range []string{"search", "ads", "maps", "mail", "storage"} {
+	for _, team := range demoTeams {
 		if err := ex.OpenAccount(team); err != nil {
 			return nil, err
 		}
 	}
 	return ex, nil
+}
+
+// buildFederatedDemo assembles N regional markets behind one federation.
+// The first region runs hot and the rest cold, so the global view shows
+// price contrast between regions and cross-region bids route away from
+// the hot region.
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64) (*federation.Federation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	rs := make([]*federation.Region, 0, regions)
+	for i := 0; i < regions; i++ {
+		name := regionName(i)
+		fleet, err := buildRegionFleet(rng, name+"-", clusters, machines, i == 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget})
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, r)
+	}
+	fed, err := federation.NewFederation(rs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, team := range demoTeams {
+		if err := fed.OpenAccount(team); err != nil {
+			return nil, err
+		}
+	}
+	return fed, nil
 }

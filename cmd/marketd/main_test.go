@@ -1,9 +1,13 @@
 package main
 
 import (
+	"context"
+	"net"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"clustermarket/internal/webui"
 )
@@ -60,5 +64,120 @@ func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
 	if _, err := buildDemo(0, 4, 1, 100); err == nil {
 		t.Error("zero clusters accepted")
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(8, 20, 0, 10000, 30*time.Second); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(4, 10, 3, 5000, 0); err != nil {
+		t.Errorf("federated flags rejected: %v", err)
+	}
+	bad := []struct {
+		name                        string
+		clusters, machines, regions int
+		budget                      float64
+		epoch                       time.Duration
+	}{
+		{"zero clusters", 0, 20, 0, 10000, time.Second},
+		{"negative clusters", -3, 20, 0, 10000, time.Second},
+		{"zero machines", 8, 0, 0, 10000, time.Second},
+		{"zero budget", 8, 20, 0, 0, time.Second},
+		{"negative budget", 8, 20, 0, -5, time.Second},
+		{"negative epoch", 8, 20, 0, 10000, -time.Second},
+		{"negative regions", 8, 20, -1, 10000, time.Second},
+		{"one region", 8, 20, 1, 10000, time.Second},
+	}
+	for _, tc := range bad {
+		if err := validateFlags(tc.clusters, tc.machines, tc.regions, tc.budget, tc.epoch); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestBuildFederatedDemo(t *testing.T) {
+	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := fed.Regions()
+	if len(regions) != 3 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	if regions[0].Name() != "us" || regions[1].Name() != "eu" {
+		t.Errorf("region names = %s, %s", regions[0].Name(), regions[1].Name())
+	}
+	if got := fed.RegionOf("eu-r1"); got != "eu" {
+		t.Errorf("eu-r1 owned by %q", got)
+	}
+	if got := len(fed.Teams()); got != 5 {
+		t.Errorf("teams = %d", got)
+	}
+
+	// The federated demo serves the global view and drill-downs end to
+	// end, and a cross-region bid routes away from the hot us region.
+	if _, err := fed.SubmitProduct("search", "batch-compute", 1, []string{"us-r1", "eu-r1"}, 100); err != nil {
+		t.Fatal(err)
+	}
+	fed.Tick()
+	ts := httptest.NewServer(webui.NewFederated(fed))
+	defer ts.Close()
+	for _, path := range []string{"/", "/region/eu/", "/region/eu/bid"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	st := fed.Stats()
+	if st.CrossRegion != 1 || st.Won != 1 {
+		t.Errorf("router stats = %+v", st)
+	}
+}
+
+// TestServeGracefulShutdown drives the real serve() path: the server
+// accepts traffic, then drains cleanly once the context is cancelled —
+// the SIGINT/SIGTERM flow without the signal.
+func TestServeGracefulShutdown(t *testing.T) {
+	ex, err := buildDemo(2, 4, 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveListener(ctx, ln, webui.New(ex)) }()
+
+	// Wait for the listener, then confirm it serves.
+	var resp *http.Response
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get("http://" + addr + "/")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never came up: %v", err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v, want clean shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not drain after cancel")
 	}
 }

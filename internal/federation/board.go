@@ -1,0 +1,90 @@
+package federation
+
+import (
+	"math"
+	"sort"
+)
+
+var inf = math.Inf(1)
+
+// Quote is one region's entry on the federation's price board: the most
+// recent view of that region's prices, refreshed by gossip ticks.
+type Quote struct {
+	Region string
+	// Prices is indexed by the region's own registry.
+	Prices []float64
+	// Clearing reports whether the prices came from a converged auction
+	// (true) or are the reserve-price fallback used before the region's
+	// first settlement (false).
+	Clearing bool
+	// Tick is the gossip tick at which the quote was captured; stale
+	// quotes carry older ticks.
+	Tick int
+}
+
+// Gossip refreshes the price board from every region — the periodic
+// exchange of "last clearing / preliminary prices" that lets the router
+// order cross-region legs cheapest-first without a global price oracle.
+// Regions whose quote cannot be computed keep their previous entry.
+// It returns the new gossip tick.
+func (f *Federation) Gossip() int {
+	f.mu.Lock()
+	tick := f.gossipTick + 1
+	f.gossipTick = tick
+	f.mu.Unlock()
+
+	// Quotes read region exchanges without holding f.mu: gossip must not
+	// block routing, and region reads are themselves synchronized. A
+	// concurrent SettleRegion may have gossiped a region at a newer tick
+	// while this pass was reading — never regress the board to the older
+	// quote.
+	for _, r := range f.regions {
+		q, err := r.quote(tick)
+		if err != nil {
+			continue
+		}
+		f.mu.Lock()
+		if cur, ok := f.board[r.name]; !ok || cur.Tick <= tick {
+			f.board[r.name] = q
+		}
+		f.mu.Unlock()
+	}
+	return tick
+}
+
+// gossipRegionLocked refreshes one region's quote. Callers must hold
+// f.mu; the region read itself is lock-ordered safe (f.mu is never taken
+// inside exchange locks).
+func (f *Federation) gossipRegionLocked(r *Region) {
+	q, err := r.quote(f.gossipTick)
+	if err != nil {
+		return
+	}
+	f.board[r.name] = q
+}
+
+// Board returns a snapshot of the price board sorted by region name.
+func (f *Federation) Board() []Quote {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Quote, 0, len(f.board))
+	for _, q := range f.board {
+		c := q
+		c.Prices = append([]float64(nil), q.Prices...)
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Region < out[j].Region })
+	return out
+}
+
+// quoteLocked returns the board entry for a region, gossiping it on
+// demand when the board has never seen the region. Callers must hold
+// f.mu.
+func (f *Federation) quoteLocked(r *Region) (Quote, bool) {
+	if q, ok := f.board[r.name]; ok {
+		return q, true
+	}
+	f.gossipRegionLocked(r)
+	q, ok := f.board[r.name]
+	return q, ok
+}

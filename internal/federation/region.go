@@ -1,0 +1,96 @@
+// Package federation scales the single-exchange market of Section V into
+// a planet-wide federation of regional markets. Each Region wraps one
+// Exchange over its own fleet (its own reserve pricer, order book, and
+// epoch cadence); a Federation fronts N regions behind one API, routing
+// region-local bids straight to their home exchange and splitting
+// cross-region XOR bids into per-region legs that are tried cheapest
+// region first, guided by a gossip-refreshed price board.
+//
+// This is the sharding direction the related work points to — Haddadi et
+// al.'s federated cloud marketplace (autonomous markets behind a broker)
+// and Tycoon's distributed per-host auctioneers (PAPERS.md) — applied to
+// the paper's clock-auction market: many local markets, demand steered
+// between them on price, exactly as the paper's substitution bundles
+// ("40 cores in EU or US") intend.
+package federation
+
+import (
+	"errors"
+	"fmt"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/market"
+	"clustermarket/internal/resource"
+)
+
+// Region is one autonomous regional market: a named Exchange over its own
+// fleet. Cluster names inside a region conventionally carry the region
+// name as a prefix ("eu-r1"), which keeps pools namespaced per region and
+// globally unambiguous across the federation.
+type Region struct {
+	name string
+	ex   *market.Exchange
+}
+
+// NewRegion wires a regional exchange to its fleet. The region name must
+// be non-empty; the fleet must have at least one cluster.
+func NewRegion(name string, fleet *cluster.Fleet, cfg market.Config) (*Region, error) {
+	if name == "" {
+		return nil, errors.New("federation: empty region name")
+	}
+	ex, err := market.NewExchange(fleet, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("federation: region %q: %w", name, err)
+	}
+	return &Region{name: name, ex: ex}, nil
+}
+
+// Name returns the region's name.
+func (r *Region) Name() string { return r.name }
+
+// Exchange returns the region's exchange.
+func (r *Region) Exchange() *market.Exchange { return r.ex }
+
+// Clusters returns the region's cluster names in registration order.
+func (r *Region) Clusters() []string { return r.ex.Fleet().ClusterNames() }
+
+// quote captures the region's current view of prices for the board: the
+// last clearing prices when an auction has converged, otherwise the live
+// reserve prices.
+func (r *Region) quote(tick int) (Quote, error) {
+	q := Quote{Region: r.name, Tick: tick}
+	if p := r.ex.LastClearingPrices(); p != nil {
+		q.Prices, q.Clearing = p, true
+		return q, nil
+	}
+	p, err := r.ex.ReservePrices()
+	if err != nil {
+		return Quote{}, err
+	}
+	q.Prices = p
+	return q, nil
+}
+
+// legCost prices a product cover in this region at the quoted prices:
+// the cheapest acceptable cluster's cost (the same min the bidder proxy
+// would take). Unknown clusters cost +Inf.
+func (r *Region) legCost(q Quote, cover cluster.Usage, clusters []string) float64 {
+	reg := r.ex.Registry()
+	best := -1.0
+	for _, cl := range clusters {
+		cost, found := 0.0, false
+		for _, d := range resource.StandardDimensions {
+			if i, ok := reg.Index(resource.Pool{Cluster: cl, Dim: d}); ok && i < len(q.Prices) {
+				cost += cover.Get(d) * q.Prices[i]
+				found = true
+			}
+		}
+		if found && (best < 0 || cost < best) {
+			best = cost
+		}
+	}
+	if best < 0 {
+		return inf
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package market
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+// TestLedgerConservationRandomized drives a randomized multi-epoch market
+// and asserts, after every settlement, the invariants the exchange's
+// books must never violate: the double-entry ledger sums to zero, no team
+// balance goes negative, and the quota won in any single auction never
+// exceeds the fleet's capacity in any pool.
+func TestLedgerConservationRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fleet := cluster.NewFleet()
+	clusters := []string{"c1", "c2", "c3"}
+	for i, name := range clusters {
+		c := cluster.New(name, nil)
+		c.AddMachines(15, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := fleet.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+		util := 0.15 + 0.3*float64(i)
+		if err := fleet.FillToUtilization(rng, name, cluster.Usage{CPU: util, RAM: util, Disk: util}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex, err := NewExchange(fleet, Config{InitialBudget: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for _, tm := range teams {
+		if err := ex.OpenAccount(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	products := []string{"batch-compute", "serving-frontend", "bigtable-node"}
+
+	for epoch := 0; epoch < 10; epoch++ {
+		for i := 0; i < 15; i++ {
+			team := teams[rng.Intn(len(teams))]
+			n := 1 + rng.Intn(len(clusters))
+			var cs []string
+			for _, pi := range rng.Perm(len(clusters))[:n] {
+				cs = append(cs, clusters[pi])
+			}
+			qty := 1 + rng.Float64()*2
+			limit := 2 + rng.Float64()*150
+			if _, err := ex.SubmitProduct(team, products[rng.Intn(len(products))], qty, cs, limit); err != nil {
+				t.Fatalf("epoch %d: %v", epoch, err)
+			}
+		}
+		if _, _, err := ex.RunAuction(); err != nil && !errors.Is(err, core.ErrNoConvergence) {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if !ex.LedgerBalanced(1e-6) {
+			t.Fatalf("epoch %d: ledger unbalanced", epoch)
+		}
+		for _, team := range ex.Teams() {
+			bal, err := ex.Balance(team)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bal < -1e-6 {
+				t.Fatalf("epoch %d: %s balance %g < 0", epoch, team, bal)
+			}
+		}
+		assertAuctionWinsWithinCapacity(t, ex, epoch)
+	}
+}
+
+// assertAuctionWinsWithinCapacity sums the won allocations per (auction,
+// pool) and checks no auction sold more than the fleet's capacity.
+func assertAuctionWinsWithinCapacity(t *testing.T, ex *Exchange, epoch int) {
+	t.Helper()
+	reg := ex.Registry()
+	cap := ex.Fleet().CapacityVector(reg)
+	won := make(map[int]resource.Vector)
+	for _, o := range ex.Orders() {
+		if o.Status != Won {
+			continue
+		}
+		v, ok := won[o.Auction]
+		if !ok {
+			v = reg.Zero()
+			won[o.Auction] = v
+		}
+		for i, q := range o.Allocation {
+			if q > 0 {
+				v[i] += q
+			}
+		}
+	}
+	for auction, v := range won {
+		for i, q := range v {
+			if q > cap[i]+1e-6 {
+				t.Fatalf("epoch %d: auction %d won %g of %s, capacity %g",
+					epoch, auction, q, reg.Pool(i), cap[i])
+			}
+		}
+	}
+}

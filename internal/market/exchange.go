@@ -394,6 +394,13 @@ func (e *Exchange) Cancel(id int) error {
 func (e *Exchange) Order(id int) (*Order, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	// IDs are assigned from the append position, so the slot at index id
+	// is the order — O(1) for the status-polling hot path (the federation
+	// router polls legs after every regional settlement). The scan below
+	// is a fallback in case the invariant ever changes.
+	if id >= 0 && id < len(e.orders) && e.orders[id].ID == id {
+		return e.orders[id].snapshot(), nil
+	}
 	for _, o := range e.orders {
 		if o.ID == id {
 			return o.snapshot(), nil
@@ -484,6 +491,14 @@ func (e *Exchange) History() []*AuctionRecord {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return append([]*AuctionRecord(nil), e.history...)
+}
+
+// AuctionCount returns the number of auctions attempted so far (the
+// length of History, without copying it).
+func (e *Exchange) AuctionCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.history)
 }
 
 // ReservePrices computes the current congestion-weighted reserve price

@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+// TestFederatedMigration checks the scenario's headline shape: the
+// price board routes essentially all migratable demand into the cold
+// region, the hot region stays priced above the cold one, and the cold
+// region's prices rise as placed demand warms it up.
+func TestFederatedMigration(t *testing.T) {
+	rows, fed, err := FederatedMigration(FederatedConfig{Seed: 11, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	totalWon := 0
+	for _, r := range rows {
+		totalWon += r.Won
+		if r.Won > 0 && r.ColdShare < 0.9 {
+			t.Errorf("epoch %d: cold share %.2f, want ≥ 0.9 (demand not migrating)", r.Epoch, r.ColdShare)
+		}
+		if r.HotCPUPrice <= r.ColdCPUPrice {
+			t.Errorf("epoch %d: hot CPU price %.3f not above cold %.3f", r.Epoch, r.HotCPUPrice, r.ColdCPUPrice)
+		}
+	}
+	if totalWon == 0 {
+		t.Fatal("no cross-region orders won; scenario degenerate")
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.ColdCPUPrice <= first.ColdCPUPrice {
+		t.Errorf("cold CPU price did not rise with inbound demand: %.4f → %.4f",
+			first.ColdCPUPrice, last.ColdCPUPrice)
+	}
+	// The cold region's fleet really absorbed the placed load.
+	coldUtil := fed.Region("cold").Exchange().Fleet().Cluster("cold-r1").Utilization()
+	if coldUtil.CPU <= 0.12 {
+		t.Errorf("cold-r1 CPU utilization %.3f did not grow", coldUtil.CPU)
+	}
+	if !fed.LedgerBalanced(1e-6) {
+		t.Error("federated ledger unbalanced")
+	}
+}

@@ -1,0 +1,63 @@
+package webui
+
+// fedSummaryTmpl is the global market-summary page of the federated
+// front end: regions ranked with their board quotes, the router's
+// cross-region order trail, and drill-down links into each regional
+// trading platform.
+const fedSummaryTmpl = `<!DOCTYPE html>
+<html><head><title>Global Resource Market</title>` + baseStyle + `</head>
+<body>
+<h1>Global resource market</h1>
+<p>{{len .Regions}} regions federated.
+Orders routed: {{.Stats.Submitted}} ({{.Stats.CrossRegion}} cross-region, {{.Stats.Failovers}} failovers);
+won {{.Stats.Won}}, lost {{.Stats.Lost}}, unsettled {{.Stats.Unsettled}}.</p>
+
+<h2>Regions</h2>
+<table>
+<tr><th class="name">Region</th><th>Clusters</th><th>Open orders</th>
+<th>Auctions</th><th>Settled</th><th>Mean CPU price</th><th>Mean CPU util</th></tr>
+{{range .Regions}}
+<tr class="{{.Class}}"><td class="name"><a href="/region/{{.Region}}/">{{.Region}}</a></td>
+<td>{{len .Clusters}}</td><td>{{.OpenOrders}}</td>
+<td>{{.Auctions}}</td><td>{{.Settled}}</td>
+<td>{{printf "%.3f" .MeanCPUPrice}}</td><td>{{printf "%.0f%%" (pct .MeanCPU)}}</td></tr>
+{{end}}
+</table>
+
+<h2>Price board (gossip)</h2>
+<table>
+<tr><th class="name">Region</th><th class="name">Source</th><th>Tick</th></tr>
+{{range .Board}}
+<tr><td class="name">{{.Region}}</td>
+<td class="name">{{if .Clearing}}clearing{{else}}reserve{{end}}</td>
+<td>{{.Tick}}</td></tr>
+{{end}}
+</table>
+
+<h2>Enter a global bid</h2>
+{{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
+<form method="POST" action="/bid/submit">
+<p>Team: <input name="team"></p>
+<p>Product:
+<select name="product">
+{{range .Products}}<option value="{{.}}">{{.}}</option>{{end}}
+</select></p>
+<p>Quantity: <input name="qty" value="1"></p>
+<p>Acceptable clusters (XOR, comma separated — may span regions): <input name="clusters" value="{{.Clusters}}" size="60"></p>
+<p>Maximum bid price: <input name="limit" value="100"></p>
+<button type="submit">Submit bid</button>
+</form>
+
+<h2>Routed orders</h2>
+<table>
+<tr><th>ID</th><th class="name">Team</th><th class="name">Product</th><th>Qty</th>
+<th>Limit</th><th class="name">Status</th><th class="name">Route</th>
+<th class="name">Won in</th><th>Payment</th></tr>
+{{range .Orders}}
+<tr><td>{{.ID}}</td><td class="name">{{.Team}}</td><td class="name">{{.Product}}</td>
+<td>{{printf "%.1f" .Qty}}</td><td>{{printf "%.2f" .Limit}}</td>
+<td class="name">{{.Status}}</td><td class="name">{{.Route}}</td>
+<td class="name">{{.Region}}</td><td>{{printf "%.2f" .Payment}}</td></tr>
+{{end}}
+</table>
+</body></html>`

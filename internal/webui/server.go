@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,6 +26,10 @@ import (
 // traffic is in flight.
 type Server struct {
 	ex *market.Exchange
+	// prefix is prepended to every generated link and redirect, so the
+	// same server can be mounted at a sub-path (a region drill-down under
+	// a federation front end) behind http.StripPrefix.
+	prefix string
 
 	mux       *http.ServeMux
 	summary   *template.Template
@@ -46,13 +51,20 @@ type Server struct {
 // "periodic intervals during the bid collection phase" of Section V.A.
 const pricesTTL = time.Second
 
-// New builds a Server around the exchange.
-func New(ex *market.Exchange) *Server {
+// New builds a Server around the exchange, serving from the root path.
+func New(ex *market.Exchange) *Server { return NewWithPrefix(ex, "") }
+
+// NewWithPrefix builds a Server whose generated links and redirects are
+// rooted at prefix (e.g. "/region/eu"). Mount it behind
+// http.StripPrefix(prefix, s) so incoming paths still match the bare
+// routes.
+func NewWithPrefix(ex *market.Exchange, prefix string) *Server {
 	funcs := template.FuncMap{
 		"pct": func(x float64) float64 { return 100 * x },
 	}
 	s := &Server{
 		ex:        ex,
+		prefix:    prefix,
 		mux:       http.NewServeMux(),
 		summary:   template.Must(template.New("summary").Funcs(funcs).Parse(summaryTmpl)),
 		bidStep1:  template.Must(template.New("bid1").Parse(bidStep1Tmpl)),
@@ -98,10 +110,12 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	view := struct {
+		Prefix     string
 		Auctions   int
 		OpenOrders int
 		Rows       []summaryRow
 	}{
+		Prefix:     s.prefix,
 		Auctions:   len(s.ex.History()),
 		OpenOrders: s.ex.OpenOrderCount(),
 	}
@@ -148,11 +162,13 @@ func sparkline(xs []float64) string {
 
 func (s *Server) handleBidStep1(w http.ResponseWriter, r *http.Request) {
 	view := struct {
+		Prefix   string
 		Error    string
 		Team     string
 		Products []string
 		Clusters string
 	}{
+		Prefix:   s.prefix,
 		Error:    r.URL.Query().Get("err"),
 		Products: s.ex.Catalog().Names(),
 		Clusters: strings.Join(s.ex.Fleet().ClusterNames(), ","),
@@ -177,17 +193,17 @@ func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
 	productName := r.FormValue("product")
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
 	if err != nil || qty <= 0 {
-		redirectErr(w, r, "quantity must be a positive number")
+		s.redirectErr(w, r, "quantity must be a positive number")
 		return
 	}
 	clusters := splitCSV(r.FormValue("clusters"))
 	if team == "" || len(clusters) == 0 {
-		redirectErr(w, r, "team and clusters are required")
+		s.redirectErr(w, r, "team and clusters are required")
 		return
 	}
 	product, err := s.ex.Catalog().Lookup(productName)
 	if err != nil {
-		redirectErr(w, r, err.Error())
+		s.redirectErr(w, r, err.Error())
 		return
 	}
 	prices, err := s.currentPrices()
@@ -209,7 +225,7 @@ func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !found {
-			redirectErr(w, r, fmt.Sprintf("unknown cluster %q", cl))
+			s.redirectErr(w, r, fmt.Sprintf("unknown cluster %q", cl))
 			return
 		}
 		options = append(options, bidOption{Cluster: cl, Cover: cover, Cost: cost})
@@ -218,13 +234,15 @@ func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	view := struct {
+		Prefix              string
 		Team, Product, Unit string
 		Qty                 float64
 		Options             []bidOption
 		ClustersCSV         string
 		SuggestedLimit      float64
 	}{
-		Team: team, Product: productName, Unit: product.Unit,
+		Prefix: s.prefix,
+		Team:   team, Product: productName, Unit: product.Unit,
 		Qty: qty, Options: options,
 		ClustersCSV:    strings.Join(clusters, ","),
 		SuggestedLimit: suggested * 1.1,
@@ -241,29 +259,33 @@ func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
 	team := strings.TrimSpace(r.FormValue("team"))
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
 	if err != nil {
-		redirectErr(w, r, "bad quantity")
+		s.redirectErr(w, r, "bad quantity")
 		return
 	}
 	limit, err := strconv.ParseFloat(r.FormValue("limit"), 64)
 	if err != nil {
-		redirectErr(w, r, "bad limit")
+		s.redirectErr(w, r, "bad limit")
 		return
 	}
 	order, err := s.ex.SubmitProduct(team, r.FormValue("product"), qty, splitCSV(r.FormValue("clusters")), limit)
 	if err != nil {
-		redirectErr(w, r, err.Error())
+		s.redirectErr(w, r, err.Error())
 		return
 	}
 	view := struct {
-		ID    int
-		Team  string
-		Limit float64
-	}{ID: order.ID, Team: team, Limit: limit}
+		Prefix string
+		ID     int
+		Team   string
+		Limit  float64
+	}{Prefix: s.prefix, ID: order.ID, Team: team, Limit: limit}
 	render(w, s.bidDone, view)
 }
 
 func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
-	view := struct{ Orders []*market.Order }{Orders: s.ex.Orders()}
+	view := struct {
+		Prefix string
+		Orders []*market.Order
+	}{Prefix: s.prefix, Orders: s.ex.Orders()}
 	render(w, s.orders, view)
 }
 
@@ -272,7 +294,11 @@ func (s *Server) handleTeams(w http.ResponseWriter, r *http.Request) {
 		Name    string
 		Balance float64
 	}
-	var view struct{ Teams []teamRow }
+	var view struct {
+		Prefix string
+		Teams  []teamRow
+	}
+	view.Prefix = s.prefix
 	for _, t := range s.ex.Teams() {
 		bal, err := s.ex.Balance(t)
 		if err != nil {
@@ -293,7 +319,7 @@ func (s *Server) handleRunAuction(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	http.Redirect(w, r, "/", http.StatusSeeOther)
+	http.Redirect(w, r, s.prefix+"/", http.StatusSeeOther)
 }
 
 func (s *Server) handleSummaryJSON(w http.ResponseWriter, r *http.Request) {
@@ -408,8 +434,14 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func redirectErr(w http.ResponseWriter, r *http.Request, msg string) {
-	http.Redirect(w, r, "/bid?err="+strings.ReplaceAll(msg, " ", "+"), http.StatusSeeOther)
+func (s *Server) redirectErr(w http.ResponseWriter, r *http.Request, msg string) {
+	errRedirect(w, r, s.prefix+"/bid", msg)
+}
+
+// errRedirect bounces back to path with the message in the err query
+// parameter, escaped so error text containing &, %, or # survives.
+func errRedirect(w http.ResponseWriter, r *http.Request, path, msg string) {
+	http.Redirect(w, r, path+"?err="+url.QueryEscape(msg), http.StatusSeeOther)
 }
 
 func splitCSV(s string) []string {

@@ -19,7 +19,7 @@ nav a { margin-right: 1.2em; }
 const summaryTmpl = `<!DOCTYPE html>
 <html><head><title>Resource Market Summary</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Market summary</h1>
 <p>Auctions settled so far: {{.Auctions}}. Open orders: {{.OpenOrders}}.</p>
 <table>
@@ -33,16 +33,16 @@ const summaryTmpl = `<!DOCTYPE html>
 <td class="spark">{{.Spark}}</td></tr>
 {{end}}
 </table>
-<form method="POST" action="/auction/run"><button type="submit">Run auction now</button></form>
+<form method="POST" action="{{.Prefix}}/auction/run"><button type="submit">Run auction now</button></form>
 </body></html>`
 
 const bidStep1Tmpl = `<!DOCTYPE html>
 <html><head><title>Enter bid — step 1</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Enter bid — step 1: requirements</h1>
 {{if .Error}}<p style="color:red">{{.Error}}</p>{{end}}
-<form method="POST" action="/bid/preview">
+<form method="POST" action="{{.Prefix}}/bid/preview">
 <p>Team: <input name="team" value="{{.Team}}"></p>
 <p>Product:
 <select name="product">
@@ -57,7 +57,7 @@ const bidStep1Tmpl = `<!DOCTYPE html>
 const bidStep2Tmpl = `<!DOCTYPE html>
 <html><head><title>Enter bid — step 2</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Enter bid — step 2: covering resources &amp; limit price</h1>
 <p>Team <b>{{.Team}}</b> requests <b>{{.Qty}} {{.Unit}}</b> of <b>{{.Product}}</b>.</p>
 <p>Covering resources per acceptable cluster:</p>
@@ -69,7 +69,7 @@ const bidStep2Tmpl = `<!DOCTYPE html>
 <td>{{printf "%.2f" .Cost}}</td></tr>
 {{end}}
 </table>
-<form method="POST" action="/bid/submit">
+<form method="POST" action="{{.Prefix}}/bid/submit">
 <input type="hidden" name="team" value="{{.Team}}">
 <input type="hidden" name="product" value="{{.Product}}">
 <input type="hidden" name="qty" value="{{.Qty}}">
@@ -82,16 +82,16 @@ const bidStep2Tmpl = `<!DOCTYPE html>
 const bidDoneTmpl = `<!DOCTYPE html>
 <html><head><title>Bid submitted</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Bid submitted</h1>
 <p>Order #{{.ID}} for team <b>{{.Team}}</b> entered with limit {{printf "%.2f" .Limit}}.</p>
-<p><a href="/orders">View orders</a></p>
+<p><a href="{{.Prefix}}/orders">View orders</a></p>
 </body></html>`
 
 const ordersTmpl = `<!DOCTYPE html>
 <html><head><title>Orders</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Orders</h1>
 <table>
 <tr><th>ID</th><th class="name">Team</th><th class="name">User</th><th>Limit</th><th class="name">Status</th><th>Auction</th><th>Payment</th></tr>
@@ -107,7 +107,7 @@ const ordersTmpl = `<!DOCTYPE html>
 const teamsTmpl = `<!DOCTYPE html>
 <html><head><title>Teams</title>` + baseStyle + `</head>
 <body>
-<nav><a href="/">Market summary</a><a href="/bid">Enter bid</a><a href="/orders">Orders</a><a href="/teams">Teams</a></nav>
+<nav><a href="{{.Prefix}}/">Market summary</a><a href="{{.Prefix}}/bid">Enter bid</a><a href="{{.Prefix}}/orders">Orders</a><a href="{{.Prefix}}/teams">Teams</a></nav>
 <h1>Team accounts</h1>
 <table>
 <tr><th class="name">Team</th><th>Balance</th></tr>
