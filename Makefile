@@ -21,6 +21,9 @@ vet:
 bench:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./...
 
-# Record the current benchmark output as the baseline for comparison.
+# Record the current benchmark output as a baseline for comparison.
+# Parametrized so re-running for a new PR cannot silently clobber an
+# earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
+BENCH_OUT ?= BENCH_pr3.json
 bench-baseline:
-	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee BENCH_seed.json
+	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)

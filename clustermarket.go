@@ -85,6 +85,17 @@ type (
 	IncrementPolicy = core.IncrementPolicy
 	// SystemViolation is one violated SYSTEM constraint.
 	SystemViolation = core.SystemViolation
+	// AuctionEngine selects the clock's demand-revelation strategy.
+	AuctionEngine = core.Engine
+)
+
+// Clock engines. EngineIncremental (the default) re-evaluates only the
+// bidders touching a pool whose price moved — O(affected bidders) per
+// round; EngineDense is the dense reference path. Results are
+// bit-identical either way.
+const (
+	EngineIncremental = core.EngineIncremental
+	EngineDense       = core.EngineDense
 )
 
 // Increment policies from Section III.C.2.

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
 	"clustermarket/internal/market"
 	"clustermarket/internal/webui"
@@ -53,9 +54,17 @@ func main() {
 		"auction epoch: settle accumulated orders every interval (0 disables the loop)")
 	regions := flag.Int("regions", 0,
 		"number of federated regions (0 = single exchange, ≥2 = federated market)")
+	engineName := flag.String("engine", "incremental",
+		"clock-auction engine: incremental (O(affected bidders) per round) or dense (reference path)")
 	flag.Parse()
 
 	if err := validateFlags(*clusters, *machines, *regions, *budget, *epoch); err != nil {
+		fmt.Fprintf(os.Stderr, "marketd: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	engine, err := parseEngine(*engineName)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "marketd: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -66,7 +75,7 @@ func main() {
 
 	var handler http.Handler
 	if *regions > 0 {
-		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget)
+		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -79,7 +88,7 @@ func main() {
 		handler = webui.NewFederated(fed)
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, err := buildDemo(*clusters, *machines, *seed, *budget)
+		ex, err := buildDemo(*clusters, *machines, *seed, *budget, engine)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -169,6 +178,18 @@ func validateFlags(clusters, machines, regions int, budget float64, epoch time.D
 	return nil
 }
 
+// parseEngine maps the -engine flag onto the core engine selector.
+func parseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "incremental":
+		return core.EngineIncremental, nil
+	case "dense":
+		return core.EngineDense, nil
+	default:
+		return 0, fmt.Errorf("unknown -engine %q (want incremental or dense)", name)
+	}
+}
+
 // regionNames is the palette of demo region names; beyond it, regions
 // are named g<i>.
 var regionNames = []string{"us", "eu", "asia", "sam", "africa", "oceania", "india", "japan"}
@@ -215,13 +236,13 @@ func buildRegionFleet(rng *rand.Rand, prefix string, clusters, machines int, hot
 	return fleet, nil
 }
 
-func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exchange, error) {
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine) (*market.Exchange, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget})
+	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget, Engine: engine})
 	if err != nil {
 		return nil, err
 	}
@@ -237,7 +258,7 @@ func buildDemo(clusters, machines int, seed int64, budget float64) (*market.Exch
 // The first region runs hot and the rest cold, so the global view shows
 // price contrast between regions and cross-region bids route away from
 // the hot region.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64) (*federation.Federation, error) {
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine) (*federation.Federation, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
 	for i := 0; i < regions; i++ {
@@ -246,7 +267,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 		if err != nil {
 			return nil, err
 		}
-		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget})
+		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget, Engine: engine})
 		if err != nil {
 			return nil, err
 		}

@@ -9,11 +9,12 @@ import (
 	"testing"
 	"time"
 
+	"clustermarket/internal/core"
 	"clustermarket/internal/webui"
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, err := buildDemo(4, 6, 42, 5000)
+	ex, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, err := buildDemo(0, 4, 1, 100); err == nil {
+	if _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
@@ -97,7 +98,7 @@ func TestValidateFlags(t *testing.T) {
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000)
+	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, err := buildDemo(2, 4, 7, 1000)
+	ex, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,5 +180,17 @@ func TestServeGracefulShutdown(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("serve did not drain after cancel")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	if e, err := parseEngine("incremental"); err != nil || e != core.EngineIncremental {
+		t.Errorf("incremental = %v, %v", e, err)
+	}
+	if e, err := parseEngine("dense"); err != nil || e != core.EngineDense {
+		t.Errorf("dense = %v, %v", e, err)
+	}
+	if _, err := parseEngine("warp"); err == nil {
+		t.Error("unknown engine accepted")
 	}
 }

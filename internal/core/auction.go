@@ -14,6 +14,38 @@ import (
 // converts that theoretical hazard into a reportable error.
 var ErrNoConvergence = errors.New("core: clock auction did not converge")
 
+// Engine selects the demand-revelation strategy Run uses to drive the
+// clock. Both engines produce bit-identical results (prices, allocations,
+// payments, drop rounds, history) because the incremental engine
+// recomputes stale excess-demand components in the same fixed reduction
+// order the dense engine uses; the differential property test enforces
+// this.
+type Engine int
+
+const (
+	// EngineIncremental, the default, re-evaluates only the proxies whose
+	// bundles touch a pool whose price moved last round, updating the
+	// excess-demand vector by recomputing just the affected components.
+	// Each round costs O(affected bidders) instead of O(all bidders) —
+	// the planet-scale fast path.
+	EngineIncremental Engine = iota
+	// EngineDense re-scores every proxy against every bundle and rebuilds
+	// the excess-demand vector from scratch each round — the literal
+	// Algorithm 1 transcription, kept as the reference implementation.
+	EngineDense
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineIncremental:
+		return "incremental"
+	case EngineDense:
+		return "dense"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
 // Config parameterizes one clock auction run.
 type Config struct {
 	// Start is p̃, the starting/reserve price vector. Section IV derives
@@ -34,6 +66,9 @@ type Config struct {
 	Parallel bool
 	// RecordHistory retains per-round snapshots in Result.History.
 	RecordHistory bool
+	// Engine selects the demand-revelation strategy; the zero value is
+	// EngineIncremental.
+	Engine Engine
 }
 
 // DefaultMaxRounds bounds auctions that were not given an explicit limit.
@@ -64,8 +99,16 @@ type Result struct {
 	// Winners and Losers are bid indices, in input order.
 	Winners []int
 	Losers  []int
-	// DropRound[i] is the round at which bid i left the auction, or −1 if
-	// it was active at the end.
+	// ChosenBundle[i] is the index into bids[i].Bundles of the settled
+	// bundle, or −1 when the bid lost. Premium statistics for vector-limit
+	// bids must be computed against this bundle's limit (Bid.LimitFor),
+	// not the scalar Limit, which is ignored when BundleLimits is set.
+	ChosenBundle []int
+	// DropRound[i] is the round at which bid i last left the auction, or
+	// −1 if it was active at the end. A bidder that is priced out and
+	// later re-enters (sellers and traders can: rising prices improve
+	// their receipts) has its drop round cleared on re-entry, so the
+	// diagnostic always agrees with History.ActiveBidders.
 	DropRound []int
 	// History holds per-round snapshots when Config.RecordHistory is set.
 	History []Round
@@ -100,6 +143,10 @@ type Auction struct {
 	bids    []*Bid
 	proxies []*Proxy
 	cfg     Config
+	// incIndex caches the incremental engine's inverted pool→proxies
+	// index; bids are frozen after NewAuction, so it is built once and
+	// shared across Run calls.
+	incIndex *incrementalIndex
 }
 
 // NewAuction validates the inputs and prepares proxies. Bids are held by
@@ -171,19 +218,38 @@ func (a *Auction) ConvergenceGuaranteed() bool {
 // Run executes Algorithm 1: collect proxy demands, stop when excess
 // demand is nonpositive, otherwise raise prices and repeat. On
 // non-convergence it returns ErrNoConvergence together with the partial
-// Result for diagnosis.
+// Result for diagnosis. Config.Engine selects between the incremental
+// engine (the default; see incremental.go) and the dense reference
+// implementation; their results are bit-identical.
 func (a *Auction) Run() (*Result, error) {
-	p := a.cfg.Start.Clone()
-	// choices[i] is the bundle index demanded by proxy i this round, or
-	// −1 when priced out. Working with indices keeps the round loop on
-	// the sparse fast path.
-	choices := make([]int, len(a.proxies))
+	if a.cfg.Engine == EngineDense {
+		return a.runDense()
+	}
+	return a.runIncremental()
+}
+
+// newResult allocates a Result with the drop-round diagnostics reset.
+func (a *Auction) newResult() *Result {
 	res := &Result{
 		DropRound: make([]int, len(a.bids)),
 	}
 	for i := range res.DropRound {
 		res.DropRound[i] = -1
 	}
+	return res
+}
+
+// runDense is the literal Algorithm 1 loop: every proxy is re-scored at
+// the new prices each round and the excess-demand vector is rebuilt from
+// scratch. It is quadratic in practice and kept as the reference the
+// incremental engine is differentially tested against.
+func (a *Auction) runDense() (*Result, error) {
+	p := a.cfg.Start.Clone()
+	// choices[i] is the bundle index demanded by proxy i this round, or
+	// −1 when priced out. Working with indices keeps the round loop on
+	// the sparse fast path.
+	choices := make([]int, len(a.proxies))
+	res := a.newResult()
 
 	for t := 0; t < a.cfg.MaxRounds; t++ {
 		active := a.collect(p, choices)
@@ -191,6 +257,10 @@ func (a *Auction) Run() (*Result, error) {
 		for i, c := range choices {
 			if c >= 0 {
 				a.proxies[i].sparse[c].addInto(z)
+				// An active bidder is not dropped — clear any stale drop
+				// round from an earlier priced-out stretch (sellers and
+				// traders re-enter as prices rise).
+				res.DropRound[i] = -1
 			} else if res.DropRound[i] < 0 {
 				res.DropRound[i] = t
 			}
@@ -227,12 +297,16 @@ func (a *Auction) Run() (*Result, error) {
 	return res, ErrNoConvergence
 }
 
+// parallelThreshold is the smallest evaluation batch worth fanning out
+// over worker goroutines; below it, spawn overhead dominates.
+const parallelThreshold = 64
+
 // collect evaluates every proxy at prices p into choices, returning the
 // number of active bidders. With cfg.Parallel it fans the loop out over
 // GOMAXPROCS workers; the choices slice is indexed by bidder so the
 // result is deterministic either way.
 func (a *Auction) collect(p resource.Vector, choices []int) int {
-	if !a.cfg.Parallel || len(a.proxies) < 64 {
+	if !a.cfg.Parallel || len(a.proxies) < parallelThreshold {
 		active := 0
 		for i, px := range a.proxies {
 			choices[i] = px.choose(p)
@@ -286,7 +360,9 @@ func (a *Auction) settle(res *Result, p resource.Vector, choices []int) {
 	res.Prices = p.Clone()
 	res.Allocations = make([]resource.Vector, len(a.bids))
 	res.Payments = make([]float64, len(a.bids))
+	res.ChosenBundle = make([]int, len(a.bids))
 	for i, c := range choices {
+		res.ChosenBundle[i] = c
 		if c < 0 {
 			res.Losers = append(res.Losers, i)
 			continue

@@ -41,8 +41,12 @@ type Bid struct {
 	BundleLimits []float64
 }
 
-// limitFor returns the limit governing bundle i.
-func (b *Bid) limitFor(i int) float64 {
+// LimitFor returns the limit governing bundle i: BundleLimits[i] when
+// the vector-π extension is in use, the scalar Limit otherwise. Premium
+// statistics (Equation 5) must be computed against the winning bundle's
+// limit via this method — using the scalar Limit for a vector-limit bid
+// measures γ_u against a number the proxy never consulted.
+func (b *Bid) LimitFor(i int) float64 {
 	if len(b.BundleLimits) > 0 {
 		return b.BundleLimits[i]
 	}
@@ -148,8 +152,8 @@ func (b *Bid) Validate(r int) error {
 	// positive amount must use a negative limit.
 	if b.Class() == PureSeller {
 		for i := range b.Bundles {
-			if b.limitFor(i) > 0 {
-				return fmt.Errorf("core: pure seller %q has positive limit %g (minimum receipt is encoded as a negative limit)", b.User, b.limitFor(i))
+			if b.LimitFor(i) > 0 {
+				return fmt.Errorf("core: pure seller %q has positive limit %g (minimum receipt is encoded as a negative limit)", b.User, b.LimitFor(i))
 			}
 		}
 	}
@@ -166,7 +170,7 @@ func (b *Bid) BestAffordable(p resource.Vector) (idx int, ok bool) {
 	bestSurplus := math.Inf(-1)
 	for i, q := range b.Bundles {
 		cost := q.Dot(p)
-		lim := b.limitFor(i)
+		lim := b.LimitFor(i)
 		if cost > lim {
 			continue
 		}
@@ -205,7 +209,7 @@ func (px *Proxy) choose(p resource.Vector) int {
 	bestSurplus := math.Inf(-1)
 	for i, sb := range px.sparse {
 		cost := sb.dot(p)
-		lim := px.bid.limitFor(i)
+		lim := px.bid.LimitFor(i)
 		if cost > lim {
 			continue
 		}

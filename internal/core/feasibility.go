@@ -63,7 +63,7 @@ func CheckSystem(bids []*Bid, res *Result, eps float64) []SystemViolation {
 			if j, ok := b.BestAffordable(res.Prices); ok {
 				out = append(out, SystemViolation{5, i,
 					fmt.Sprintf("bundle %d (cost %g) is affordable within limit %g",
-						j, b.Bundles[j].Dot(res.Prices), b.limitFor(j))})
+						j, b.Bundles[j].Dot(res.Prices), b.LimitFor(j))})
 			}
 			continue
 		}
@@ -81,9 +81,9 @@ func CheckSystem(bids []*Bid, res *Result, eps float64) []SystemViolation {
 		}
 		pay := res.Payments[i]
 		// (3) winners afford their payment under the governing limit.
-		if pay > b.limitFor(chosen)+eps {
+		if pay > b.LimitFor(chosen)+eps {
 			out = append(out, SystemViolation{3, i,
-				fmt.Sprintf("payment %g exceeds limit %g", pay, b.limitFor(chosen))})
+				fmt.Sprintf("payment %g exceeds limit %g", pay, b.LimitFor(chosen))})
 		}
 		// Payment must equal the chosen bundle's cost at final prices.
 		cost := b.Bundles[chosen].Dot(res.Prices)
@@ -94,16 +94,16 @@ func CheckSystem(bids []*Bid, res *Result, eps float64) []SystemViolation {
 		// (4) winners attain their optimal bundle: no alternative
 		// affordable bundle offers strictly more surplus (for scalar
 		// limits this is exactly "the cheapest bundle").
-		surplus := b.limitFor(chosen) - cost
+		surplus := b.LimitFor(chosen) - cost
 		for j, q := range b.Bundles {
 			c := q.Dot(res.Prices)
-			if c > b.limitFor(j) {
+			if c > b.LimitFor(j) {
 				continue
 			}
-			if b.limitFor(j)-c > surplus+eps {
+			if b.LimitFor(j)-c > surplus+eps {
 				out = append(out, SystemViolation{4, i,
 					fmt.Sprintf("bundle %d (surplus %g) beats chosen bundle %d (surplus %g)",
-						j, b.limitFor(j)-c, chosen, surplus)})
+						j, b.LimitFor(j)-c, chosen, surplus)})
 				break
 			}
 		}

@@ -106,8 +106,14 @@ type Federation struct {
 	owner   map[string]string // cluster → region name
 	catalog *market.Catalog
 
-	mu         sync.Mutex
-	orders     []*FedOrder
+	mu     sync.Mutex
+	orders []*FedOrder
+	// byID indexes every order for O(1) lookup. Order and Cancel are on
+	// the router's polling path (every leg advance re-reads order state),
+	// so a linear scan of every order ever submitted would make routing
+	// quadratic in book age, exactly as Exchange.Order was before its
+	// indexed lookup.
+	byID       map[int]*FedOrder
 	nextID     int
 	board      map[string]Quote
 	gossipTick int
@@ -132,6 +138,7 @@ func NewFederation(regions ...*Region) (*Federation, error) {
 		owner:   make(map[string]string),
 		catalog: market.StandardCatalog(),
 		board:   make(map[string]Quote),
+		byID:    make(map[int]*FedOrder),
 		open:    make(map[string]map[int]*FedOrder, len(regions)),
 	}
 	for _, r := range regions {
@@ -274,6 +281,7 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 	}
 	f.nextID++
 	f.orders = append(f.orders, fo)
+	f.byID[fo.ID] = fo
 	f.trackLocked(fo)
 	f.stats.Submitted++
 	if len(legs) > 1 {
@@ -394,34 +402,30 @@ func (f *Federation) advanceRegion(name string) {
 func (f *Federation) Cancel(id int) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, fo := range f.orders {
-		if fo.ID != id {
-			continue
-		}
-		if fo.Status != market.Open {
-			return fmt.Errorf("federation: order %d is %s", id, fo.Status)
-		}
-		leg := fo.Legs[fo.Active]
-		if err := f.byName[leg.Region].ex.Cancel(leg.OrderID); err != nil {
-			return err
-		}
-		leg.Status = market.Cancelled
-		fo.Status = market.Cancelled
-		fo.Active = -1
-		delete(f.open[leg.Region], fo.ID)
-		return nil
+	fo, ok := f.byID[id]
+	if !ok {
+		return fmt.Errorf("federation: no order %d", id)
 	}
-	return fmt.Errorf("federation: no order %d", id)
+	if fo.Status != market.Open {
+		return fmt.Errorf("federation: order %d is %s", id, fo.Status)
+	}
+	leg := fo.Legs[fo.Active]
+	if err := f.byName[leg.Region].ex.Cancel(leg.OrderID); err != nil {
+		return err
+	}
+	leg.Status = market.Cancelled
+	fo.Status = market.Cancelled
+	fo.Active = -1
+	delete(f.open[leg.Region], fo.ID)
+	return nil
 }
 
 // Order returns a snapshot of one federated order.
 func (f *Federation) Order(id int) (*FedOrder, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, fo := range f.orders {
-		if fo.ID == id {
-			return fo.snapshot(), nil
-		}
+	if fo, ok := f.byID[id]; ok {
+		return fo.snapshot(), nil
 	}
 	return nil, fmt.Errorf("federation: no order %d", id)
 }

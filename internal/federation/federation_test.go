@@ -433,3 +433,42 @@ func TestServeSettlesConcurrently(t *testing.T) {
 		t.Error("non-positive epoch accepted")
 	}
 }
+
+// TestOrderLookupIsIndexed pins the byID index behind Order and Cancel:
+// lookups resolve the right order among many (the router polls order
+// state on every leg advance, so this path must not scan the whole
+// history), and misses still error.
+func TestOrderLookupIsIndexed(t *testing.T) {
+	f := hotCold(t)
+	var ids []int
+	for i := 0; i < 20; i++ {
+		fo, err := f.SubmitProduct("team", "batch-compute", 1, []string{"cold-r1"}, 100+float64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, fo.ID)
+	}
+	for i, id := range ids {
+		fo, err := f.Order(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo.ID != id || fo.Limit != 100+float64(i) {
+			t.Fatalf("Order(%d) = id %d limit %v", id, fo.ID, fo.Limit)
+		}
+	}
+	if _, err := f.Order(999); err == nil {
+		t.Error("unknown order id resolved")
+	}
+	if err := f.Cancel(999); err == nil {
+		t.Error("unknown order id cancelled")
+	}
+	// Cancel through the index still withdraws the regional leg.
+	if err := f.Cancel(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	fo, err := f.Order(ids[3])
+	if err != nil || fo.Status != market.Cancelled {
+		t.Fatalf("cancelled order = %+v, %v", fo, err)
+	}
+}

@@ -33,7 +33,11 @@ type Region struct {
 }
 
 // NewRegion wires a regional exchange to its fleet. The region name must
-// be non-empty; the fleet must have at least one cluster.
+// be non-empty; the fleet must have at least one cluster. The
+// market.Config applies to the region's exchange verbatim — including
+// the clock engine selector (Config.Engine), so a federation can run
+// every regional auctioneer on the incremental engine or pin one to the
+// dense reference path for ablation.
 func NewRegion(name string, fleet *cluster.Fleet, cfg market.Config) (*Region, error) {
 	if name == "" {
 		return nil, errors.New("federation: empty region name")

@@ -166,6 +166,9 @@ type Config struct {
 	Epsilon   float64
 	MaxRounds int
 	Parallel  bool
+	// Engine selects the clock's demand-revelation engine; the zero value
+	// is core.EngineIncremental (the O(affected bidders) fast path).
+	Engine core.Engine
 }
 
 func (c *Config) applyDefaults() {
@@ -588,14 +591,20 @@ func (e *Exchange) releaseBatch(open []*Order) {
 // over the current open orders, as the platform does "at periodic
 // intervals during the bid collection phase" (Section V.A), and returns
 // the preliminary settlement prices.
-func (e *Exchange) PreliminaryPrices() (resource.Vector, error) {
+//
+// The converged flag reports whether the simulated clock cleared. A
+// clock that hits MaxRounds still returns its final (non-clearing)
+// prices alongside converged=false and ErrNoConvergence: the bid window
+// is exactly where in-progress prices are useful feedback, so display
+// paths should render them marked preliminary rather than fail.
+func (e *Exchange) PreliminaryPrices() (prices resource.Vector, converged bool, err error) {
 	bids, _, err := e.assemble()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	start, err := e.ReservePrices()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	a, err := core.NewAuction(e.reg, bids, core.Config{
 		Start:     start,
@@ -603,15 +612,16 @@ func (e *Exchange) PreliminaryPrices() (resource.Vector, error) {
 		Epsilon:   e.cfg.Epsilon,
 		MaxRounds: e.cfg.MaxRounds,
 		Parallel:  e.cfg.Parallel,
+		Engine:    e.cfg.Engine,
 	})
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	res, err := a.Run()
-	if err != nil {
-		return nil, err
+	if res == nil {
+		return nil, false, err
 	}
-	return res.Prices, nil
+	return res.Prices, res.Converged, err
 }
 
 // RunAuction executes one binding auction over the open orders: it runs
@@ -647,6 +657,7 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		Epsilon:   e.cfg.Epsilon,
 		MaxRounds: e.cfg.MaxRounds,
 		Parallel:  e.cfg.Parallel,
+		Engine:    e.cfg.Engine,
 	})
 	if err != nil {
 		e.releaseBatch(open)
@@ -702,7 +713,10 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		o.Allocation = res.Allocations[i]
 		o.Payment = res.Payments[i]
 		rec.Settled++
-		rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.Limit, o.Payment))
+		// γ_u is measured against the limit that governed the *winning*
+		// bundle: for vector-limit bids the scalar Limit is ignored by the
+		// proxy, so using it here would corrupt the Table I statistics.
+		rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.LimitFor(res.ChosenBundle[i]), o.Payment))
 		e.applySettlement(o, num)
 	}
 	// The operator's supply bid exists to inject capacity and anchor the

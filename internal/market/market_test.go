@@ -306,7 +306,7 @@ func TestRunAuctionNoOrders(t *testing.T) {
 	if _, _, err := e.RunAuction(); err == nil {
 		t.Error("auction with no orders accepted")
 	}
-	if _, err := e.PreliminaryPrices(); err == nil {
+	if _, _, err := e.PreliminaryPrices(); err == nil {
 		t.Error("preliminary prices with no orders accepted")
 	}
 }
@@ -319,9 +319,12 @@ func TestPreliminaryPricesDoNotSettle(t *testing.T) {
 	if _, err := e.SubmitProduct("a", "batch-compute", 5, []string{"r2"}, 400); err != nil {
 		t.Fatal(err)
 	}
-	p, err := e.PreliminaryPrices()
+	p, converged, err := e.PreliminaryPrices()
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !converged {
+		t.Error("clearing preliminary clock reported non-converged")
 	}
 	if len(p) != e.Registry().Len() {
 		t.Fatalf("prices len = %d", len(p))
@@ -925,5 +928,91 @@ func TestSubmitVectorPiBid(t *testing.T) {
 	}
 	if len(res.Winners) == 0 {
 		t.Fatal("vector-pi bid lost an uncontested market")
+	}
+}
+
+// TestPremiumUsesWinningBundleLimit pins the vector-limit premium fix:
+// γ_u must be measured against the limit of the bundle that actually won
+// (Bid.LimitFor over Result.ChosenBundle), not the scalar Limit, which
+// the proxy ignores when BundleLimits is set.
+func TestPremiumUsesWinningBundleLimit(t *testing.T) {
+	e := newTestExchange(t)
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	reg := e.Registry()
+	cpu2, ok := reg.Index(resource.Pool{Cluster: "r2", Dim: resource.CPU})
+	if !ok {
+		t.Fatal("no r2/CPU pool")
+	}
+	bundle := func(qty float64) resource.Vector {
+		v := reg.Zero()
+		v[cpu2] = qty
+		return v
+	}
+	// Bundle 0 carries an unaffordable limit; bundle 1 must win. The
+	// scalar Limit is deliberately 0: the old premium computed
+	// |0 − pay|/|pay| = 1 regardless of the real surplus.
+	bid := &core.Bid{
+		User:         "a/vector",
+		Bundles:      []resource.Vector{bundle(4), bundle(2)},
+		BundleLimits: []float64{1e-9, 500},
+	}
+	if _, err := e.Submit("a", bid); err != nil {
+		t.Fatal(err)
+	}
+	rec, res, err := e.RunAuction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsWinner(0) {
+		t.Fatal("vector-limit bid lost")
+	}
+	if res.ChosenBundle[0] != 1 {
+		t.Fatalf("ChosenBundle = %d, want 1", res.ChosenBundle[0])
+	}
+	if len(rec.Premiums) != 1 {
+		t.Fatalf("premiums = %v", rec.Premiums)
+	}
+	want := core.Premium(500, res.Payments[0])
+	if got := rec.Premiums[0]; got != want {
+		t.Errorf("premium = %v, want %v (winning bundle limit 500)", got, want)
+	}
+	if math.Abs(rec.Premiums[0]-1) < 1e-9 {
+		t.Error("premium computed from the ignored scalar limit")
+	}
+}
+
+// TestPreliminaryPricesNonConvergent pins the bid-window fix: a
+// preliminary clock that hits MaxRounds still returns its in-progress
+// prices with converged=false (plus ErrNoConvergence), instead of
+// discarding them — Section V.A shows preliminary prices exactly while
+// the market has not cleared yet.
+func TestPreliminaryPricesNonConvergent(t *testing.T) {
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e7, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Demand far beyond the operator's sellable capacity with a limit the
+	// clock cannot price out in two rounds.
+	if _, err := e.SubmitProduct("a", "batch-compute", 50, []string{"r2"}, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	p, converged, err := e.PreliminaryPrices()
+	if !errors.Is(err, core.ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+	if converged {
+		t.Error("non-clearing clock reported converged")
+	}
+	if len(p) != e.Registry().Len() {
+		t.Fatalf("prices = %v, want the in-progress vector", p)
+	}
+	// Non-binding: the order is still open and nothing settled.
+	if len(e.OpenOrders()) != 1 || len(e.History()) != 0 {
+		t.Error("preliminary run had side effects")
 	}
 }

@@ -212,4 +212,3 @@ func TestFedFederationJSON(t *testing.T) {
 		t.Errorf("regional auctions JSON: %d %s", code, body)
 	}
 }
-

@@ -6,6 +6,7 @@ package webui
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -44,8 +45,26 @@ type Server struct {
 	// running N simulations over the same book.
 	pricesMu  sync.Mutex
 	pricesAt  time.Time
-	pricesVal map[string]float64
+	pricesVal *pricesView
 }
+
+// pricesView is the wire form of /api/prices.json: the preliminary
+// settlement prices plus whether the simulated clock actually cleared.
+// A non-clearing clock's prices are still shown during the bid window
+// (Section V.A) — marked by Note — instead of failing the request.
+type pricesView struct {
+	Converged bool               `json:"converged"`
+	Note      string             `json:"note,omitempty"`
+	Prices    map[string]float64 `json:"prices"`
+}
+
+// noteNotConverged marks prices from a clock simulation that hit its
+// round limit; noteReserve marks the reserve-price fallback used when
+// the book is empty.
+const (
+	noteNotConverged = "preliminary, not converged"
+	noteReserve      = "reserve prices (no open orders)"
+)
 
 // pricesTTL bounds how stale the cached preliminary prices may be — the
 // "periodic intervals during the bid collection phase" of Section V.A.
@@ -332,10 +351,12 @@ func (s *Server) handleSummaryJSON(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePricesJSON returns the preliminary settlement prices over the
-// open orders — the Figure 5 feedback loop during the bid window. When no
-// orders are open it falls back to reserve prices. Results are cached
-// for pricesTTL and computed under a single-flight lock: concurrent
-// pollers share one clock simulation instead of each running their own.
+// open orders — the Figure 5 feedback loop during the bid window. A
+// non-clearing clock's final prices are still returned, marked
+// "preliminary, not converged"; with no open orders it falls back to
+// reserve prices. Results are cached for pricesTTL and computed under a
+// single-flight lock: concurrent pollers share one clock simulation
+// instead of each running their own.
 func (s *Server) handlePricesJSON(w http.ResponseWriter, r *http.Request) {
 	s.pricesMu.Lock()
 	if s.pricesVal != nil && time.Since(s.pricesAt) < pricesTTL {
@@ -344,24 +365,42 @@ func (s *Server) handlePricesJSON(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, out)
 		return
 	}
-	prices, err := s.ex.PreliminaryPrices()
-	if err != nil {
+	view := &pricesView{}
+	prices, converged, err := s.ex.PreliminaryPrices()
+	switch {
+	case prices != nil:
+		// The clock ran; non-convergence (err != nil here) is reported in
+		// the payload rather than as a failure — Section V.A's bid window
+		// is exactly where in-progress prices should still be shown.
+		view.Converged = converged
+		if !converged {
+			view.Note = noteNotConverged
+		}
+	case errors.Is(err, market.ErrNoOpenOrders):
+		// Empty book: reserve prices are the honest answer.
 		prices, err = s.ex.ReservePrices()
 		if err != nil {
 			s.pricesMu.Unlock()
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		view.Note = noteReserve
+	default:
+		// A real failure (broken policy, reserve pricer error) must not
+		// be dressed up as an empty book.
+		s.pricesMu.Unlock()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
 	reg := s.ex.Registry()
-	out := make(map[string]float64, reg.Len())
+	view.Prices = make(map[string]float64, reg.Len())
 	for i := 0; i < reg.Len(); i++ {
-		out[reg.Pool(i).String()] = prices[i]
+		view.Prices[reg.Pool(i).String()] = prices[i]
 	}
-	s.pricesVal = out
+	s.pricesVal = view
 	s.pricesAt = time.Now()
 	s.pricesMu.Unlock()
-	writeJSON(w, out)
+	writeJSON(w, view)
 }
 
 func (s *Server) handleHistoryJSON(w http.ResponseWriter, r *http.Request) {

@@ -235,14 +235,17 @@ func TestJSONEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("prices.json = %d", code)
 	}
-	var prices map[string]float64
-	if err := json.Unmarshal([]byte(body), &prices); err != nil {
+	var pv pricesView
+	if err := json.Unmarshal([]byte(body), &pv); err != nil {
 		t.Fatal(err)
 	}
-	if len(prices) != 6 {
-		t.Errorf("prices = %d entries", len(prices))
+	if len(pv.Prices) != 6 {
+		t.Errorf("prices = %d entries", len(pv.Prices))
 	}
-	if prices["r1/CPU"] <= prices["r2/CPU"] {
+	if pv.Note != noteReserve {
+		t.Errorf("empty-book note = %q, want %q", pv.Note, noteReserve)
+	}
+	if pv.Prices["r1/CPU"] <= pv.Prices["r2/CPU"] {
 		t.Error("hot cluster not pricier in prices.json")
 	}
 
@@ -464,5 +467,50 @@ func TestParallelTrafficWithEpochLoop(t *testing.T) {
 
 	if !ex.LedgerBalanced(1e-6) {
 		t.Error("ledger unbalanced after parallel traffic")
+	}
+}
+
+// TestPricesJSONNonConverged pins the bid-window fix: when the
+// preliminary clock hits MaxRounds, the endpoint serves the in-progress
+// prices marked "preliminary, not converged" instead of failing over to
+// reserve prices (or a 500).
+func TestPricesJSONNonConverged(t *testing.T) {
+	f := cluster.NewFleet()
+	c := cluster.New("r1", nil)
+	c.AddMachines(10, cluster.Usage{CPU: 10, RAM: 20, Disk: 5})
+	if err := f.AddCluster(c); err != nil {
+		t.Fatal(err)
+	}
+	// Two rounds can neither clear the oversized demand nor price out a
+	// near-unlimited buyer.
+	ex, err := market.NewExchange(f, market.Config{InitialBudget: 1e7, MaxRounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.OpenAccount("web-team"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 50, []string{"r1"}, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(ex))
+	defer ts.Close()
+
+	code, body := get(t, ts, "/api/prices.json")
+	if code != http.StatusOK {
+		t.Fatalf("prices.json = %d, want 200", code)
+	}
+	var pv pricesView
+	if err := json.Unmarshal([]byte(body), &pv); err != nil {
+		t.Fatal(err)
+	}
+	if pv.Converged {
+		t.Error("non-clearing clock reported converged")
+	}
+	if pv.Note != noteNotConverged {
+		t.Errorf("note = %q, want %q", pv.Note, noteNotConverged)
+	}
+	if len(pv.Prices) != ex.Registry().Len() {
+		t.Errorf("prices = %d entries, want %d", len(pv.Prices), ex.Registry().Len())
 	}
 }
