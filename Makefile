@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline
+.PHONY: all build test race vet bench bench-baseline bench-compare
 
 all: vet build test
 
@@ -21,9 +21,21 @@ vet:
 bench:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./...
 
-# Record the current benchmark output as a baseline for comparison.
-# Parametrized so re-running for a new PR cannot silently clobber an
-# earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
-BENCH_OUT ?= BENCH_pr3.json
+# Record the current benchmark output as a baseline for comparison:
+# one pass over the full suite, then the sharded-intake scaling sweep
+# (BenchmarkParallelSubmit across worker counts) appended to the same
+# file. Parametrized so re-running for a new PR cannot silently clobber
+# an earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
+BENCH_OUT ?= BENCH_pr4.json
 bench-baseline:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)
+	$(GO) test -run 'xxx' -bench 'ParallelSubmit|ConcurrentSubmit' -benchtime 2000x -cpu 1,4,8 . | tee -a $(BENCH_OUT)
+
+# Compare two recorded baselines (default: the previous PR's against
+# this PR's). Informational by default — single-iteration CI timings are
+# noise — pass BENCH_FAIL_OVER=N to fail on a >N% ns/op regression.
+BENCH_OLD ?= BENCH_pr3.json
+BENCH_NEW ?= BENCH_pr4.json
+BENCH_FAIL_OVER ?= 0
+bench-compare:
+	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)

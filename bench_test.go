@@ -41,6 +41,7 @@ func benchConfig(seed int64) sim.Config {
 
 // BenchmarkFig2ReserveCurves regenerates Figure 2 (FIG2).
 func BenchmarkFig2ReserveCurves(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		curves := sim.Fig2(100)
 		if len(curves) != 3 {
@@ -52,6 +53,7 @@ func BenchmarkFig2ReserveCurves(b *testing.B) {
 // BenchmarkFig6PriceRatios regenerates Figure 6 (FIG6): world build, one
 // market auction, price/fixed-price ratios.
 func BenchmarkFig6PriceRatios(b *testing.B) {
+	b.ReportAllocs()
 	var hot, cold float64
 	for i := 0; i < b.N; i++ {
 		d, err := sim.Fig6(benchConfig(100 + int64(i)))
@@ -67,6 +69,7 @@ func BenchmarkFig6PriceRatios(b *testing.B) {
 // BenchmarkFig7SettledUtilization regenerates Figure 7 (FIG7) over two
 // sequential auctions.
 func BenchmarkFig7SettledUtilization(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := sim.Fig7(benchConfig(200+int64(i)), 2)
 		if err != nil {
@@ -81,6 +84,7 @@ func BenchmarkFig7SettledUtilization(b *testing.B) {
 // BenchmarkTable1BidPremiums regenerates Table I (TAB1): three sequential
 // auctions with evolving bidder sophistication.
 func BenchmarkTable1BidPremiums(b *testing.B) {
+	b.ReportAllocs()
 	var medianDrop float64
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Table1(benchConfig(300+int64(i)), 3)
@@ -97,6 +101,7 @@ func BenchmarkTable1BidPremiums(b *testing.B) {
 // BenchmarkBaselineComparison regenerates the BASE experiment: fixed
 // price vs manual quota vs proportional share vs market.
 func BenchmarkBaselineComparison(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Baseline(benchConfig(400 + int64(i)))
 		if err != nil {
@@ -110,6 +115,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 
 // BenchmarkMigration regenerates the MIGR experiment over three auctions.
 func BenchmarkMigration(b *testing.B) {
+	b.ReportAllocs()
 	var coldShare float64
 	for i := 0; i < b.N; i++ {
 		rows, err := sim.Migration(benchConfig(500+int64(i)), 3)
@@ -150,6 +156,7 @@ func runSynthetic(b *testing.B, seed int64, users, pools int, parallel bool) *co
 // × 100 resources; optimized compiled code should be orders of magnitude
 // faster.
 func BenchmarkClockAuctionPaperScale(b *testing.B) {
+	b.ReportAllocs()
 	var rounds int
 	for i := 0; i < b.N; i++ {
 		res := runSynthetic(b, 42, 100, 100, false)
@@ -160,8 +167,10 @@ func BenchmarkClockAuctionPaperScale(b *testing.B) {
 
 // BenchmarkClockAuctionUsers sweeps the user count at R=100 (SCALE).
 func BenchmarkClockAuctionUsers(b *testing.B) {
+	b.ReportAllocs()
 	for _, users := range []int{25, 100, 400} {
 		b.Run(benchName("U", users), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runSynthetic(b, 42, users, 100, false)
 			}
@@ -171,8 +180,10 @@ func BenchmarkClockAuctionUsers(b *testing.B) {
 
 // BenchmarkClockAuctionPools sweeps the pool count at U=100 (SCALE).
 func BenchmarkClockAuctionPools(b *testing.B) {
+	b.ReportAllocs()
 	for _, pools := range []int{25, 100, 400} {
 		b.Run(benchName("R", pools), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runSynthetic(b, 42, 100, pools, false)
 			}
@@ -236,16 +247,22 @@ func sparsePlanetMarket(seed int64, users, pools int) (*resource.Registry, []*co
 	return reg, bids
 }
 
-// BenchmarkSparsePlanetEngines is the PR 3 headline: the per-round cost
-// of the dense reference engine vs the incremental engine on the
-// sparse-planet workload (256 pools × 2048 bidders, a handful of
-// non-zero components each). Both engines produce bit-identical results
-// (enforced by TestIncrementalMatchesDenseDifferential); ns/round is the
-// comparison metric, since the engines run the identical number of
-// rounds by construction.
+// BenchmarkSparsePlanetEngines is the PR 3 headline, now measured in its
+// steady state: the per-round cost of the dense reference engine vs the
+// incremental engine on the sparse-planet workload (256 pools × 2048
+// bidders, a handful of non-zero components each). Both engines produce
+// bit-identical results (enforced by TestIncrementalMatchesDenseDifferential);
+// ns/round is the comparison metric, since the engines run the identical
+// number of rounds by construction.
+//
+// A warm-up run outside the timed window sizes the auction's scratch
+// buffers and the recycled Result, so the timed RunReusing iterations
+// measure the pure round loop — allocs/op must read 0: a steady-state
+// clock round performs no heap allocations at all.
 func BenchmarkSparsePlanetEngines(b *testing.B) {
 	for _, eng := range []core.Engine{core.EngineDense, core.EngineIncremental} {
 		b.Run(eng.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			reg, bids := sparsePlanetMarket(9, 2048, 256)
 			start := reg.Zero()
 			for i := range start {
@@ -262,10 +279,14 @@ func BenchmarkSparsePlanetEngines(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			res, err := a.Run() // warm-up: scratch + Result sized here
+			if err != nil {
+				b.Fatal(err)
+			}
 			var rounds, totalRounds int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := a.Run()
+				res, err = a.RunReusing(res)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -283,6 +304,7 @@ func BenchmarkSparsePlanetEngines(b *testing.B) {
 // update rules on an identical market: time per full auction plus rounds
 // to converge.
 func BenchmarkAblationIncrementPolicies(b *testing.B) {
+	b.ReportAllocs()
 	policies := []core.IncrementPolicy{
 		core.Additive{Alpha: 0.02},
 		core.Capped{Alpha: 0.02, Delta: 0.25, MinStep: 0.001},
@@ -291,6 +313,7 @@ func BenchmarkAblationIncrementPolicies(b *testing.B) {
 	}
 	for _, pol := range policies {
 		b.Run(pol.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var rounds int
 			for i := 0; i < b.N; i++ {
 				rng := rand.New(rand.NewSource(77))
@@ -318,6 +341,7 @@ func BenchmarkAblationIncrementPolicies(b *testing.B) {
 // functions as the market's reserve curve, reporting the hot-pool price
 // ratio each produces.
 func BenchmarkAblationReserveCurves(b *testing.B) {
+	b.ReportAllocs()
 	curves := []struct {
 		name string
 		fn   reserve.WeightFn
@@ -328,6 +352,7 @@ func BenchmarkAblationReserveCurves(b *testing.B) {
 	}
 	for _, c := range curves {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var hot float64
 			for i := 0; i < b.N; i++ {
 				cfg := benchConfig(600)
@@ -346,11 +371,13 @@ func BenchmarkAblationReserveCurves(b *testing.B) {
 // BenchmarkAblationParallelProxies measures serial vs worker-pool proxy
 // evaluation on a large market.
 func BenchmarkAblationParallelProxies(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []struct {
 		name     string
 		parallel bool
 	}{{"serial", false}, {"parallel", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runSynthetic(b, 42, 1200, 100, mode.parallel)
 			}
@@ -361,8 +388,10 @@ func BenchmarkAblationParallelProxies(b *testing.B) {
 // BenchmarkAblationSchedulers compares the bin-packing policies in the
 // cluster substrate, reporting CPU stranding.
 func BenchmarkAblationSchedulers(b *testing.B) {
+	b.ReportAllocs()
 	for _, sched := range cluster.Schedulers() {
 		b.Run(sched.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var stranding float64
 			for i := 0; i < b.N; i++ {
 				c := cluster.New("bench", sched)
@@ -392,6 +421,7 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 // `welfare` metric; the clock trades some of it away for fair uniform
 // prices).
 func BenchmarkAblationOptimizerVsClock(b *testing.B) {
+	b.ReportAllocs()
 	build := func() (*core.Auction, []*core.Bid, func() (float64, error)) {
 		rng := rand.New(rand.NewSource(31))
 		reg, bids := sim.SyntheticMarket(rng, 100, 30)
@@ -416,6 +446,7 @@ func BenchmarkAblationOptimizerVsClock(b *testing.B) {
 		return a, bids, greedy
 	}
 	b.Run("clock", func(b *testing.B) {
+		b.ReportAllocs()
 		var welfare float64
 		for i := 0; i < b.N; i++ {
 			a, bids, _ := build()
@@ -435,6 +466,7 @@ func BenchmarkAblationOptimizerVsClock(b *testing.B) {
 		b.ReportMetric(welfare, "welfare")
 	})
 	b.Run("greedy-optimizer", func(b *testing.B) {
+		b.ReportAllocs()
 		var welfare float64
 		for i := 0; i < b.N; i++ {
 			_, _, greedy := build()
@@ -450,6 +482,7 @@ func BenchmarkAblationOptimizerVsClock(b *testing.B) {
 
 // BenchmarkClockProgression regenerates the clock-progression figure.
 func BenchmarkClockProgression(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d, err := sim.ClockProgression(benchConfig(800+int64(i)), 3)
 		if err != nil {
@@ -464,6 +497,7 @@ func BenchmarkClockProgression(b *testing.B) {
 // BenchmarkWebSummaryRender measures the market summary render path
 // (Figure 3).
 func BenchmarkWebSummaryRender(b *testing.B) {
+	b.ReportAllocs()
 	w, err := sim.NewWorld(benchConfig(700))
 	if err != nil {
 		b.Fatal(err)
@@ -604,6 +638,7 @@ func benchPlanetExchange(b *testing.B, teams int) *market.Exchange {
 // CPUs submitting into one exchange at once — the web tier's hot path
 // now that handlers are no longer serialized behind a server mutex.
 func BenchmarkConcurrentSubmit(b *testing.B) {
+	b.ReportAllocs()
 	ex := benchExchange(b, 16, 2)
 	var worker atomic.Int64
 	b.ResetTimer()
@@ -619,6 +654,40 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 	b.ReportMetric(float64(len(ex.Orders())), "orders")
 }
 
+// BenchmarkParallelSubmit is the sharded-intake scaling benchmark: all
+// CPUs submit XOR product orders into one exchange at once, with the
+// book striped so submits in different stripes never share a lock. Teams
+// hash across account stripes and orders round-robin across book
+// stripes, so the only shared write is one atomic counter. Run with
+//
+//	go test -run xxx -bench ParallelSubmit -cpu 1,4,8 .
+//
+// to sweep the worker count; on multicore hardware ops/sec should rise
+// with -cpu where the PR 3 book was flat (every submit fought one
+// mutex). allocs/op is reported so regressions on the admission path's
+// per-order allocation count (bid clone + bundle vectors) are visible.
+func BenchmarkParallelSubmit(b *testing.B) {
+	b.ReportAllocs()
+	ex := benchExchange(b, 16, 8)
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := int(worker.Add(1) - 1)
+		team := benchName("bt", w%16)
+		i := 0
+		for pb.Next() {
+			cl := benchName("r", 1+(i+w)%8)
+			if _, err := ex.SubmitProduct(team, "batch-compute", 1, []string{cl}, 5); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(ex.OpenOrderCount()), "orders")
+}
+
 // BenchmarkEpochLoop measures the full continuous-trading pipeline
 // (admit → batch → clock → settle) through one monolithic planet-wide
 // exchange: globally substitutable orders are admitted, then the book
@@ -630,6 +699,7 @@ func BenchmarkConcurrentSubmit(b *testing.B) {
 // Run with a fixed -benchtime (the CI smoke uses 1x); a time-based
 // benchtime lets the book outgrow the auctioneer.
 func BenchmarkEpochLoop(b *testing.B) {
+	b.ReportAllocs()
 	ex := benchPlanetExchange(b, 16)
 	loop, err := market.NewLoop(ex, time.Millisecond)
 	if err != nil {
@@ -709,8 +779,10 @@ func benchFederation(b *testing.B, regions, teams int) *federation.Federation {
 // making settled/s (won orders per second) directly comparable with the
 // baseline. Run with a fixed -benchtime, as with BenchmarkEpochLoop.
 func BenchmarkFederatedSubmit(b *testing.B) {
+	b.ReportAllocs()
 	for _, regions := range []int{2, 4, 8} {
 		b.Run(benchName("R", regions), func(b *testing.B) {
+			b.ReportAllocs()
 			fed := benchFederation(b, regions, 16)
 
 			var worker atomic.Int64

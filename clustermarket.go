@@ -81,7 +81,10 @@ type (
 	AuctionConfig = core.Config
 	// AuctionResult is the settled outcome.
 	AuctionResult = core.Result
-	// IncrementPolicy is the price update rule g(x, p).
+	// IncrementPolicy is the price update rule g(x, p). The contract is
+	// allocation-free: implementations write the step into a
+	// caller-provided vector (StepInto); use PolicyStep for the
+	// allocating convenience form.
 	IncrementPolicy = core.IncrementPolicy
 	// SystemViolation is one violated SYSTEM constraint.
 	SystemViolation = core.SystemViolation
@@ -127,6 +130,11 @@ func CheckSystem(bids []*Bid, res *AuctionResult, eps float64) []SystemViolation
 // Premium computes γ_u (Equation 5, Section V.C).
 func Premium(limit, payment float64) float64 { return core.Premium(limit, payment) }
 
+// PolicyStep applies an increment policy into a freshly allocated step
+// vector — the convenience form of the allocation-free StepInto
+// contract.
+func PolicyStep(pol IncrementPolicy, z, p Vector) Vector { return core.PolicyStep(pol, z, p) }
+
 // Reserve pricing (Section IV).
 type (
 	// WeightFn maps utilization to a price multiple.
@@ -171,7 +179,10 @@ func NewCluster(name string, s Scheduler) *Cluster { return cluster.New(name, s)
 // Trading platform (Section V).
 type (
 	// Exchange is the trading platform. All methods are safe for
-	// concurrent use; see MarketLoop for epoch-batched settlement.
+	// concurrent use; the order and account books are striped
+	// (ExchangeConfig.Shards, default DefaultExchangeShards) so order
+	// entry scales across CPUs instead of serializing on one book lock.
+	// See MarketLoop for epoch-batched settlement.
 	Exchange = market.Exchange
 	// ExchangeConfig parameterizes it.
 	ExchangeConfig = market.Config
@@ -191,6 +202,10 @@ type (
 
 // ErrNoOpenOrders reports an auction attempted over an empty book.
 var ErrNoOpenOrders = market.ErrNoOpenOrders
+
+// DefaultExchangeShards is the book stripe count an Exchange uses when
+// ExchangeConfig.Shards is zero.
+const DefaultExchangeShards = market.DefaultShards
 
 // NewExchange wires an exchange to a fleet.
 func NewExchange(f *Fleet, cfg ExchangeConfig) (*Exchange, error) {

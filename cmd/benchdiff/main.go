@@ -1,0 +1,147 @@
+// Command benchdiff compares two `go test -bench` output files (the
+// BENCH_*.json baselines the Makefile records) and prints a per-benchmark
+// delta table: ns/op, allocs/op, and the change between them.
+//
+//	benchdiff -old BENCH_pr3.json -new BENCH_pr4.json
+//
+// By default benchdiff is informational and always exits 0 — the CI
+// smoke mode, where single-iteration timings are too noisy to gate on.
+// With -fail-over=N it exits 1 when any benchmark present in both files
+// regressed its ns/op by more than N percent, for use on quiet hardware
+// with real benchtimes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine is one parsed benchmark result.
+type benchLine struct {
+	Name    string
+	NsPerOp float64
+	// AllocsPerOp is −1 when the line carries no allocs/op column (the
+	// benchmark was recorded without -benchmem or ReportAllocs).
+	AllocsPerOp float64
+}
+
+// parseBench reads `go test -bench` output, keeping the last result for
+// each benchmark name (re-runs appended to a baseline override earlier
+// ones).
+func parseBench(r *bufio.Scanner) (map[string]benchLine, []string, error) {
+	out := make(map[string]benchLine)
+	var order []string
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then metric pairs: VALUE UNIT.
+		if len(fields) < 4 {
+			continue
+		}
+		bl := benchLine{Name: fields[0], AllocsPerOp: -1}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchdiff: bad value %q on line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				bl.NsPerOp = v
+				ok = true
+			case "allocs/op":
+				bl.AllocsPerOp = v
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, seen := out[bl.Name]; !seen {
+			order = append(order, bl.Name)
+		}
+		out[bl.Name] = bl
+	}
+	return out, order, r.Err()
+}
+
+func parseFile(path string) (map[string]benchLine, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return parseBench(sc)
+}
+
+func fmtAllocs(a float64) string {
+	if a < 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(a, 'f', -1, 64)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench output file")
+	newPath := flag.String("new", "", "candidate bench output file")
+	failOver := flag.Float64("fail-over", 0,
+		"exit 1 when any common benchmark's ns/op regressed by more than this percent (0 = informational smoke mode, never fail)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old OLD -new NEW [-fail-over PCT]")
+		os.Exit(2)
+	}
+	oldB, _, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newB, newOrder, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-55s %14s %14s %9s %12s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs o→n")
+	worst := 0.0
+	for _, name := range newOrder {
+		nb := newB[name]
+		ob, both := oldB[name]
+		if !both {
+			fmt.Printf("%-55s %14s %14.0f %9s %12s\n", name, "(new)", nb.NsPerOp, "", fmtAllocs(nb.AllocsPerOp))
+			continue
+		}
+		delta := 0.0
+		if ob.NsPerOp > 0 {
+			delta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp * 100
+		}
+		if delta > worst {
+			worst = delta
+		}
+		fmt.Printf("%-55s %14.0f %14.0f %+8.1f%% %12s\n",
+			name, ob.NsPerOp, nb.NsPerOp, delta, fmtAllocs(ob.AllocsPerOp)+"→"+fmtAllocs(nb.AllocsPerOp))
+	}
+	var removed []string
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-55s %14.0f %14s\n", name, oldB[name].NsPerOp, "(removed)")
+	}
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst ns/op regression %.1f%% exceeds -fail-over %.1f%%\n", worst, *failOver)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: clustermarket
+BenchmarkAlpha         	       1	     11973 ns/op
+BenchmarkBeta/sub      	      10	   2410856 ns/op	         0.9497 coldRatio	      96 B/op	       4 allocs/op
+BenchmarkGamma-8       	     100	      9475 ns/op	         1.000 orders	    1192 B/op	      21 allocs/op
+BenchmarkAlpha         	       1	     11000 ns/op
+PASS
+ok  	clustermarket	0.121s
+`
+
+func TestParseBench(t *testing.T) {
+	got, order, err := parseBench(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(order) != 3 {
+		t.Fatalf("parsed %d benchmarks (%v)", len(got), order)
+	}
+	// Re-recorded benchmarks keep the last value (appended baselines).
+	if a := got["BenchmarkAlpha"]; a.NsPerOp != 11000 || a.AllocsPerOp != -1 {
+		t.Errorf("alpha = %+v", a)
+	}
+	// Sub-benchmark names and extra ReportMetric columns parse through.
+	if b := got["BenchmarkBeta/sub"]; b.NsPerOp != 2410856 || b.AllocsPerOp != 4 {
+		t.Errorf("beta = %+v", b)
+	}
+	// -cpu suffixed names are kept distinct, and allocs/op survives the
+	// interleaved custom metrics.
+	if g := got["BenchmarkGamma-8"]; g.NsPerOp != 9475 || g.AllocsPerOp != 21 {
+		t.Errorf("gamma = %+v", g)
+	}
+	if order[0] != "BenchmarkAlpha" || order[1] != "BenchmarkBeta/sub" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestParseBenchRejectsGarbageValues(t *testing.T) {
+	_, _, err := parseBench(bufio.NewScanner(strings.NewReader("BenchmarkX 1 zap ns/op\n")))
+	if err == nil {
+		t.Fatal("garbage value accepted")
+	}
+}

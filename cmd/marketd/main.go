@@ -15,6 +15,11 @@
 // /region/<name>/. The first region runs hot so cross-region bids
 // visibly route toward the cheaper regions.
 //
+// -shards sets the number of stripes each exchange's order and account
+// books are split into (0 selects the library default): order entry in
+// different stripes never shares a lock, so the web tier's submit path
+// scales with CPUs.
+//
 // marketd shuts down cleanly on SIGINT/SIGTERM: the epoch loops are
 // cancelled and the HTTP server drains in-flight requests before exit.
 package main
@@ -54,11 +59,13 @@ func main() {
 		"auction epoch: settle accumulated orders every interval (0 disables the loop)")
 	regions := flag.Int("regions", 0,
 		"number of federated regions (0 = single exchange, ≥2 = federated market)")
+	shards := flag.Int("shards", 0,
+		"order/account book stripes per exchange (0 selects the default); submits in different stripes never share a lock")
 	engineName := flag.String("engine", "incremental",
 		"clock-auction engine: incremental (O(affected bidders) per round) or dense (reference path)")
 	flag.Parse()
 
-	if err := validateFlags(*clusters, *machines, *regions, *budget, *epoch); err != nil {
+	if err := validateFlags(*clusters, *machines, *regions, *shards, *budget, *epoch); err != nil {
 		fmt.Fprintf(os.Stderr, "marketd: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -75,7 +82,7 @@ func main() {
 
 	var handler http.Handler
 	if *regions > 0 {
-		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine)
+		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -88,7 +95,7 @@ func main() {
 		handler = webui.NewFederated(fed)
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, err := buildDemo(*clusters, *machines, *seed, *budget, engine)
+		ex, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -156,7 +163,7 @@ func serveListener(ctx context.Context, ln net.Listener, handler http.Handler) e
 
 // validateFlags rejects demo-world parameters that would panic or build
 // a silently broken market.
-func validateFlags(clusters, machines, regions int, budget float64, epoch time.Duration) error {
+func validateFlags(clusters, machines, regions, shards int, budget float64, epoch time.Duration) error {
 	if clusters < 1 {
 		return fmt.Errorf("-clusters must be at least 1, got %d", clusters)
 	}
@@ -174,6 +181,9 @@ func validateFlags(clusters, machines, regions int, budget float64, epoch time.D
 	}
 	if regions == 1 {
 		return errors.New("-regions needs at least 2 regions to federate (use 0 for a single exchange)")
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards must not be negative, got %d", shards)
 	}
 	return nil
 }
@@ -236,13 +246,13 @@ func buildRegionFleet(rng *rand.Rand, prefix string, clusters, machines int, hot
 	return fleet, nil
 }
 
-func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine) (*market.Exchange, error) {
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int) (*market.Exchange, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget, Engine: engine})
+	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget, Engine: engine, Shards: shards})
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +268,7 @@ func buildDemo(clusters, machines int, seed int64, budget float64, engine core.E
 // The first region runs hot and the rest cold, so the global view shows
 // price contrast between regions and cross-region bids route away from
 // the hot region.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine) (*federation.Federation, error) {
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int) (*federation.Federation, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
 	for i := 0; i < regions; i++ {
@@ -267,7 +277,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 		if err != nil {
 			return nil, err
 		}
-		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget, Engine: engine})
+		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget, Engine: engine, Shards: shards})
 		if err != nil {
 			return nil, err
 		}

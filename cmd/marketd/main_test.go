@@ -14,7 +14,7 @@ import (
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental)
+	ex, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,42 +63,43 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental); err == nil {
+	if _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(8, 20, 0, 10000, 30*time.Second); err != nil {
+	if err := validateFlags(8, 20, 0, 0, 10000, 30*time.Second); err != nil {
 		t.Errorf("default flags rejected: %v", err)
 	}
-	if err := validateFlags(4, 10, 3, 5000, 0); err != nil {
+	if err := validateFlags(4, 10, 3, 4, 5000, 0); err != nil {
 		t.Errorf("federated flags rejected: %v", err)
 	}
 	bad := []struct {
-		name                        string
-		clusters, machines, regions int
-		budget                      float64
-		epoch                       time.Duration
+		name                                string
+		clusters, machines, regions, shards int
+		budget                              float64
+		epoch                               time.Duration
 	}{
-		{"zero clusters", 0, 20, 0, 10000, time.Second},
-		{"negative clusters", -3, 20, 0, 10000, time.Second},
-		{"zero machines", 8, 0, 0, 10000, time.Second},
-		{"zero budget", 8, 20, 0, 0, time.Second},
-		{"negative budget", 8, 20, 0, -5, time.Second},
-		{"negative epoch", 8, 20, 0, 10000, -time.Second},
-		{"negative regions", 8, 20, -1, 10000, time.Second},
-		{"one region", 8, 20, 1, 10000, time.Second},
+		{"zero clusters", 0, 20, 0, 0, 10000, time.Second},
+		{"negative clusters", -3, 20, 0, 0, 10000, time.Second},
+		{"zero machines", 8, 0, 0, 0, 10000, time.Second},
+		{"zero budget", 8, 20, 0, 0, 0, time.Second},
+		{"negative budget", 8, 20, 0, 0, -5, time.Second},
+		{"negative epoch", 8, 20, 0, 0, 10000, -time.Second},
+		{"negative regions", 8, 20, -1, 0, 10000, time.Second},
+		{"one region", 8, 20, 1, 0, 10000, time.Second},
+		{"negative shards", 8, 20, 0, -2, 10000, time.Second},
 	}
 	for _, tc := range bad {
-		if err := validateFlags(tc.clusters, tc.machines, tc.regions, tc.budget, tc.epoch); err == nil {
+		if err := validateFlags(tc.clusters, tc.machines, tc.regions, tc.shards, tc.budget, tc.epoch); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental)
+	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental)
+	ex, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

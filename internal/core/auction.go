@@ -138,6 +138,11 @@ func (r *Result) TotalTraded() resource.Vector {
 }
 
 // Auction couples a registry, the sealed bids, and a configuration.
+//
+// An Auction may be run repeatedly, but its runs must not overlap: the
+// clock's working vectors live in per-auction scratch buffers (allocated
+// on first use, reused afterwards) so a steady-state round performs zero
+// heap allocations. Concurrent auctions each need their own Auction.
 type Auction struct {
 	reg     *resource.Registry
 	bids    []*Bid
@@ -147,6 +152,36 @@ type Auction struct {
 	// index; bids are frozen after NewAuction, so it is built once and
 	// shared across Run calls.
 	incIndex *incrementalIndex
+	// incState is the incremental engine's reusable working set (dirty
+	// sets, epoch marks); reset at the top of each run.
+	incState *incrementalState
+	// sc holds the round loop's scratch vectors, shared by both engines.
+	sc runScratch
+}
+
+// runScratch is the per-auction working set of one clock run: the price
+// vector, the excess-demand accumulator, the policy step, and the
+// per-proxy bundle choices. All four are sized on first use and reused
+// across runs so the round loop never allocates.
+type runScratch struct {
+	p, z, step resource.Vector
+	choices    []int
+}
+
+// prepare sizes the scratch for a run: p starts at the reserve prices, z
+// zeroed, step left for StepInto's full overwrite, choices ready for the
+// round-0 full evaluation.
+func (a *Auction) prepare() (p, z resource.Vector, choices []int) {
+	r := len(a.cfg.Start)
+	a.sc.p = a.sc.p.CopyFrom(a.cfg.Start)
+	a.sc.z = a.sc.z.Resize(r)
+	a.sc.z.SetZero()
+	a.sc.step = a.sc.step.Resize(r)
+	if cap(a.sc.choices) < len(a.proxies) {
+		a.sc.choices = make([]int, len(a.proxies))
+	}
+	a.sc.choices = a.sc.choices[:len(a.proxies)]
+	return a.sc.p, a.sc.z, a.sc.choices
 }
 
 // NewAuction validates the inputs and prepares proxies. Bids are held by
@@ -221,39 +256,73 @@ func (a *Auction) ConvergenceGuaranteed() bool {
 // Result for diagnosis. Config.Engine selects between the incremental
 // engine (the default; see incremental.go) and the dense reference
 // implementation; their results are bit-identical.
-func (a *Auction) Run() (*Result, error) {
+func (a *Auction) Run() (*Result, error) { return a.RunReusing(nil) }
+
+// RunReusing is Run with Result recycling: when res is non-nil (typically
+// the outcome of an earlier run of this auction), its slices — including
+// per-winner allocation vectors and recorded history rounds — are
+// overwritten in place instead of reallocated, so a steady-state re-run
+// performs zero heap allocations. The returned Result is res itself; the
+// previous outcome it carried is destroyed. Pass nil for a fresh Result.
+func (a *Auction) RunReusing(res *Result) (*Result, error) {
+	res = a.resetResult(res)
 	if a.cfg.Engine == EngineDense {
-		return a.runDense()
+		return a.runDense(res)
 	}
-	return a.runIncremental()
+	return a.runIncremental(res)
 }
 
-// newResult allocates a Result with the drop-round diagnostics reset.
-func (a *Auction) newResult() *Result {
-	res := &Result{
-		DropRound: make([]int, len(a.bids)),
+// resetResult prepares res for (re)use: slices are truncated in place
+// with capacity kept, and the drop-round diagnostics reset.
+func (a *Auction) resetResult(res *Result) *Result {
+	if res == nil {
+		res = &Result{}
 	}
+	n := len(a.bids)
+	if cap(res.DropRound) < n {
+		res.DropRound = make([]int, n)
+	}
+	res.DropRound = res.DropRound[:n]
 	for i := range res.DropRound {
 		res.DropRound[i] = -1
 	}
+	res.Converged = false
+	res.Rounds = 0
+	res.Winners = res.Winners[:0]
+	res.Losers = res.Losers[:0]
+	res.History = res.History[:0]
 	return res
+}
+
+// appendRound records one history snapshot, reusing the vectors of a
+// recycled Round beyond len(h) when RunReusing supplied one.
+func appendRound(h []Round, t int, p, z resource.Vector, active int) []Round {
+	if len(h) < cap(h) {
+		h = h[:len(h)+1]
+		r := &h[len(h)-1]
+		r.T, r.ActiveBidders = t, active
+		r.Prices = r.Prices.CopyFrom(p)
+		r.ExcessDemand = r.ExcessDemand.CopyFrom(z)
+		return h
+	}
+	return append(h, Round{T: t, Prices: p.Clone(), ExcessDemand: z.Clone(), ActiveBidders: active})
 }
 
 // runDense is the literal Algorithm 1 loop: every proxy is re-scored at
 // the new prices each round and the excess-demand vector is rebuilt from
 // scratch. It is quadratic in practice and kept as the reference the
 // incremental engine is differentially tested against.
-func (a *Auction) runDense() (*Result, error) {
-	p := a.cfg.Start.Clone()
+func (a *Auction) runDense(res *Result) (*Result, error) {
 	// choices[i] is the bundle index demanded by proxy i this round, or
 	// −1 when priced out. Working with indices keeps the round loop on
-	// the sparse fast path.
-	choices := make([]int, len(a.proxies))
-	res := a.newResult()
+	// the sparse fast path; all four working buffers are per-auction
+	// scratch, so a steady-state round allocates nothing.
+	p, z, choices := a.prepare()
+	step := a.sc.step
 
 	for t := 0; t < a.cfg.MaxRounds; t++ {
 		active := a.collect(p, choices)
-		z := a.reg.Zero()
+		z.SetZero()
 		for i, c := range choices {
 			if c >= 0 {
 				a.proxies[i].sparse[c].addInto(z)
@@ -266,12 +335,7 @@ func (a *Auction) runDense() (*Result, error) {
 			}
 		}
 		if a.cfg.RecordHistory {
-			res.History = append(res.History, Round{
-				T:             t,
-				Prices:        p.Clone(),
-				ExcessDemand:  z.Clone(),
-				ActiveBidders: active,
-			})
+			res.History = appendRound(res.History, t, p, z, active)
 		}
 		if z.AllNonPositive(a.cfg.Epsilon) {
 			res.Converged = true
@@ -279,7 +343,7 @@ func (a *Auction) runDense() (*Result, error) {
 			a.settle(res, p, choices)
 			return res, nil
 		}
-		step := a.cfg.Policy.Step(z, p)
+		a.cfg.Policy.StepInto(step, z, p)
 		if !step.AllNonNegative(0) {
 			return nil, fmt.Errorf("core: policy %s produced a negative step", a.cfg.Policy.Name())
 		}
@@ -355,20 +419,36 @@ func (a *Auction) collect(p resource.Vector, choices []int) int {
 }
 
 // settle freezes the outcome at final prices: winners receive their
-// demanded bundle and pay its cost; everyone else loses.
+// demanded bundle and pay its cost; everyone else loses. The Result's
+// slices (and per-winner allocation vectors) are reused in place when
+// RunReusing recycled them, so the settled outcome never aliases the
+// auction's scratch buffers.
 func (a *Auction) settle(res *Result, p resource.Vector, choices []int) {
-	res.Prices = p.Clone()
-	res.Allocations = make([]resource.Vector, len(a.bids))
-	res.Payments = make([]float64, len(a.bids))
-	res.ChosenBundle = make([]int, len(a.bids))
+	n := len(a.bids)
+	res.Prices = res.Prices.CopyFrom(p)
+	if cap(res.Allocations) < n {
+		res.Allocations = make([]resource.Vector, n)
+	}
+	res.Allocations = res.Allocations[:n]
+	if cap(res.Payments) < n {
+		res.Payments = make([]float64, n)
+	}
+	res.Payments = res.Payments[:n]
+	if cap(res.ChosenBundle) < n {
+		res.ChosenBundle = make([]int, n)
+	}
+	res.ChosenBundle = res.ChosenBundle[:n]
+	res.Winners, res.Losers = res.Winners[:0], res.Losers[:0]
 	for i, c := range choices {
 		res.ChosenBundle[i] = c
 		if c < 0 {
+			res.Allocations[i] = nil
+			res.Payments[i] = 0
 			res.Losers = append(res.Losers, i)
 			continue
 		}
 		q := a.bids[i].Bundles[c]
-		res.Allocations[i] = q.Clone()
+		res.Allocations[i] = res.Allocations[i].CopyFrom(q)
 		res.Payments[i] = a.proxies[i].sparse[c].dot(p)
 		res.Winners = append(res.Winners, i)
 	}

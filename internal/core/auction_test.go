@@ -278,8 +278,12 @@ func TestNewAuctionValidation(t *testing.T) {
 // stallPolicy returns a zero step, which must be detected as a stall.
 type stallPolicy struct{}
 
-func (stallPolicy) Name() string                              { return "stall" }
-func (stallPolicy) Step(z, p resource.Vector) resource.Vector { return make(resource.Vector, len(z)) }
+func (stallPolicy) Name() string { return "stall" }
+func (stallPolicy) StepInto(dst, z, p resource.Vector) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
 
 func TestAuctionDetectsStalledPolicy(t *testing.T) {
 	reg := onePool()

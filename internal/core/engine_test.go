@@ -263,3 +263,87 @@ func TestPureBuyerRetirementIsFinal(t *testing.T) {
 		}
 	}
 }
+
+// TestRunReusingMatchesFreshRun pins RunReusing's recycling contract:
+// re-running an auction into a recycled Result — including one recycled
+// across engines and history modes — yields outcomes bit-identical to a
+// fresh Run.
+func TestRunReusingMatchesFreshRun(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		pools := make([]resource.Pool, rng.Intn(5)+2)
+		for i := range pools {
+			pools[i] = resource.Pool{Cluster: fmt.Sprintf("c%d", i), Dim: resource.CPU}
+		}
+		reg := resource.NewRegistry(pools...)
+		bids := randomMixedMarket(rng, reg)
+		start := make(resource.Vector, reg.Len())
+		for i := range start {
+			start[i] = rng.Float64() * 2
+		}
+		for _, engine := range []Engine{EngineDense, EngineIncremental} {
+			a, err := NewAuction(reg, bids, Config{
+				Start:         start,
+				Policy:        Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+				MaxRounds:     300,
+				RecordHistory: seed%2 == 0,
+				Engine:        engine,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			fresh, freshErr := a.Run()
+			if fresh == nil {
+				t.Fatalf("seed %d: nil result (%v)", seed, freshErr)
+			}
+			// Recycle twice: the second pass exercises fully warmed scratch.
+			reused, reusedErr := a.RunReusing(&Result{})
+			for pass := 0; pass < 2; pass++ {
+				if (freshErr == nil) != (reusedErr == nil) {
+					t.Fatalf("seed %d %v: errors differ: %v vs %v", seed, engine, freshErr, reusedErr)
+				}
+				mustEqualResults(t, fmt.Sprintf("seed %d %v pass %d", seed, engine, pass), fresh, reused)
+				reused, reusedErr = a.RunReusing(reused)
+			}
+		}
+	}
+}
+
+// TestSteadyStateRoundsAllocationFree pins the zero-allocation contract
+// of the refactored round loop: once an auction's scratch buffers are
+// warm, re-running it through RunReusing performs no heap allocations at
+// all — with and without history recording, on both engines.
+func TestSteadyStateRoundsAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	reg := resource.NewRegistry(
+		resource.Pool{Cluster: "c0", Dim: resource.CPU},
+		resource.Pool{Cluster: "c1", Dim: resource.CPU},
+		resource.Pool{Cluster: "c2", Dim: resource.CPU},
+	)
+	bids := randomMixedMarket(rng, reg)
+	start := resource.Vector{0.5, 0.5, 0.5}
+	for _, history := range []bool{false, true} {
+		for _, engine := range []Engine{EngineDense, EngineIncremental} {
+			a, err := NewAuction(reg, bids, Config{
+				Start:         start,
+				Policy:        Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+				MaxRounds:     300,
+				RecordHistory: history,
+				Engine:        engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.Run() // warm the scratch and the Result
+			if res == nil {
+				t.Fatalf("%v: nil result (%v)", engine, err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				res, _ = a.RunReusing(res)
+			})
+			if allocs != 0 {
+				t.Errorf("%v (history=%v): %.1f allocs per steady-state run, want 0", engine, history, allocs)
+			}
+		}
+	}
+}

@@ -12,11 +12,28 @@ import (
 // additive price step. Section III.C.2 discusses the design space; each
 // implementation below is one of the paper's suggestions and is exercised
 // by the ablation benchmarks.
+//
+// The contract is allocation-free: StepInto writes the step into a
+// caller-provided vector, so the clock's round loop can evaluate the
+// policy thousands of times without touching the heap. One-shot callers
+// can use the PolicyStep helper instead.
 type IncrementPolicy interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Step returns g(x, p) ≥ 0. Only pools with z > 0 may move.
-	Step(z, p resource.Vector) resource.Vector
+	// StepInto writes g(x, p) ≥ 0 into dst, which has len(z). Every
+	// component must be written (zero where z ≤ 0): dst is scratch and may
+	// hold a previous round's step on entry. Only pools with z > 0 may
+	// move.
+	StepInto(dst, z, p resource.Vector)
+}
+
+// PolicyStep allocates a fresh vector and applies p.StepInto — the
+// convenience form of the policy contract for tests and one-shot callers
+// off the clock's hot path.
+func PolicyStep(pol IncrementPolicy, z, p resource.Vector) resource.Vector {
+	dst := make(resource.Vector, len(z))
+	pol.StepInto(dst, z, p)
+	return dst
 }
 
 // Additive is the simplest choice g(x, p) = α·z⁺. The paper notes it moves
@@ -29,9 +46,15 @@ type Additive struct {
 // Name implements IncrementPolicy.
 func (a Additive) Name() string { return fmt.Sprintf("additive(α=%g)", a.Alpha) }
 
-// Step implements IncrementPolicy.
-func (a Additive) Step(z, p resource.Vector) resource.Vector {
-	return z.PositivePart().Scale(a.Alpha)
+// StepInto implements IncrementPolicy.
+func (a Additive) StepInto(dst, z, p resource.Vector) {
+	for i, zi := range z {
+		if zi > 0 {
+			dst[i] = a.Alpha * zi
+		} else {
+			dst[i] = 0
+		}
+	}
 }
 
 // Capped is the paper's preferred Equation (3): g = min(α·z⁺, δ·e), where
@@ -49,11 +72,11 @@ func (c Capped) Name() string {
 	return fmt.Sprintf("capped(α=%g, δ=%g, min=%g)", c.Alpha, c.Delta, c.MinStep)
 }
 
-// Step implements IncrementPolicy.
-func (c Capped) Step(z, p resource.Vector) resource.Vector {
-	out := make(resource.Vector, len(z))
+// StepInto implements IncrementPolicy.
+func (c Capped) StepInto(dst, z, p resource.Vector) {
 	for i, zi := range z {
 		if zi <= 0 {
+			dst[i] = 0
 			continue
 		}
 		s := c.Alpha * zi
@@ -63,9 +86,8 @@ func (c Capped) Step(z, p resource.Vector) resource.Vector {
 		if s < c.MinStep {
 			s = c.MinStep
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // Proportional caps each step at a fraction of the pool's current price,
@@ -80,11 +102,11 @@ func (pr Proportional) Name() string {
 	return fmt.Sprintf("proportional(α=%g, frac=%g)", pr.Alpha, pr.Frac)
 }
 
-// Step implements IncrementPolicy.
-func (pr Proportional) Step(z, p resource.Vector) resource.Vector {
-	out := make(resource.Vector, len(z))
+// StepInto implements IncrementPolicy.
+func (pr Proportional) StepInto(dst, z, p resource.Vector) {
 	for i, zi := range z {
 		if zi <= 0 {
+			dst[i] = 0
 			continue
 		}
 		lim := pr.Frac * p[i]
@@ -95,9 +117,8 @@ func (pr Proportional) Step(z, p resource.Vector) resource.Vector {
 		if s > lim {
 			s = lim
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // CostNormalized scales increments by each pool's base cost, the paper's
@@ -118,11 +139,11 @@ func (cn CostNormalized) Name() string {
 	return fmt.Sprintf("cost-normalized(α=%g, δ=%g)", cn.Alpha, cn.DeltaFrac)
 }
 
-// Step implements IncrementPolicy.
-func (cn CostNormalized) Step(z, p resource.Vector) resource.Vector {
-	out := make(resource.Vector, len(z))
+// StepInto implements IncrementPolicy.
+func (cn CostNormalized) StepInto(dst, z, p resource.Vector) {
 	for i, zi := range z {
 		if zi <= 0 {
+			dst[i] = 0
 			continue
 		}
 		c := 1.0
@@ -133,9 +154,8 @@ func (cn CostNormalized) Step(z, p resource.Vector) resource.Vector {
 		if cap := cn.DeltaFrac * c; s > cap {
 			s = cap
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // DefaultPolicy returns the increment policy used across the experiments:

@@ -11,7 +11,7 @@ import (
 func TestAdditiveStep(t *testing.T) {
 	p := Additive{Alpha: 0.1}
 	z := resource.Vector{10, -5, 0}
-	got := p.Step(z, resource.Vector{1, 1, 1})
+	got := PolicyStep(p, z, resource.Vector{1, 1, 1})
 	want := resource.Vector{1, 0, 0}
 	if !got.Equal(want, 1e-12) {
 		t.Errorf("Step = %v, want %v", got, want)
@@ -21,7 +21,7 @@ func TestAdditiveStep(t *testing.T) {
 func TestCappedStep(t *testing.T) {
 	p := Capped{Alpha: 0.1, Delta: 0.5, MinStep: 0.05}
 	z := resource.Vector{100, 1, 0.1, -3}
-	got := p.Step(z, resource.Vector{1, 1, 1, 1})
+	got := PolicyStep(p, z, resource.Vector{1, 1, 1, 1})
 	// 100·0.1=10 capped at 0.5; 1·0.1=0.1; 0.1·0.1=0.01 floored to 0.05;
 	// negative excess leaves the price alone.
 	want := resource.Vector{0.5, 0.1, 0.05, 0}
@@ -33,7 +33,7 @@ func TestCappedStep(t *testing.T) {
 func TestProportionalStep(t *testing.T) {
 	p := Proportional{Alpha: 1, Frac: 0.1, Base: 1}
 	z := resource.Vector{100, 100}
-	got := p.Step(z, resource.Vector{50, 0})
+	got := PolicyStep(p, z, resource.Vector{50, 0})
 	// Pool 0: cap 0.1·50 = 5. Pool 1: price 0 falls back to base cap 0.1.
 	want := resource.Vector{5, 0.1}
 	if !got.Equal(want, 1e-12) {
@@ -44,7 +44,7 @@ func TestProportionalStep(t *testing.T) {
 func TestCostNormalizedStep(t *testing.T) {
 	p := CostNormalized{Alpha: 0.01, Cost: resource.Vector{100, 1, 0}, DeltaFrac: 0.05}
 	z := resource.Vector{1, 1, 1}
-	got := p.Step(z, resource.Vector{0, 0, 0})
+	got := PolicyStep(p, z, resource.Vector{0, 0, 0})
 	// Pool 0: 0.01·1·100 = 1 capped at 0.05·100 = 5 → 1.
 	// Pool 1: 0.01·1·1 = 0.01.
 	// Pool 2: zero cost falls back to 1 → 0.01.
@@ -126,7 +126,7 @@ func TestQuickPolicyStepsNonNegativeAndTargeted(t *testing.T) {
 			p[i] = rng.Float64() * 10
 		}
 		for _, pol := range policies {
-			step := pol.Step(z, p)
+			step := PolicyStep(pol, z, p)
 			if !step.AllNonNegative(0) {
 				return false
 			}
@@ -143,5 +143,32 @@ func TestQuickPolicyStepsNonNegativeAndTargeted(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestStepIntoOverwritesScratch pins the StepInto contract: dst is
+// scratch that may carry a previous round's step, and the policy must
+// overwrite every component — a stale positive entry left behind for a
+// pool with nonpositive excess demand would move a price that must not
+// move.
+func TestStepIntoOverwritesScratch(t *testing.T) {
+	policies := []IncrementPolicy{
+		Additive{Alpha: 0.3},
+		Capped{Alpha: 0.3, Delta: 0.7, MinStep: 0.01},
+		Proportional{Alpha: 0.3, Frac: 0.2, Base: 1},
+		CostNormalized{Alpha: 0.3, Cost: resource.Vector{1, 10, 100}, DeltaFrac: 0.2},
+	}
+	z := resource.Vector{5, -5, 0}
+	p := resource.Vector{1, 2, 3}
+	for _, pol := range policies {
+		dst := resource.Vector{99, 99, 99} // poisoned scratch
+		pol.StepInto(dst, z, p)
+		want := PolicyStep(pol, z, p)
+		if !dst.Equal(want, 0) {
+			t.Errorf("%s: StepInto over poisoned scratch = %v, want %v", pol.Name(), dst, want)
+		}
+		if dst[1] != 0 || dst[2] != 0 {
+			t.Errorf("%s: stale scratch survived for nonpositive z: %v", pol.Name(), dst)
+		}
 	}
 }

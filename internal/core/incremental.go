@@ -91,17 +91,44 @@ type incrementalState struct {
 	newChoices []int
 }
 
-// newIncrementalState wires the cached index to fresh scratch space.
+// newIncrementalState returns the auction's cached working set, reset
+// for a fresh run. The epoch-stamped marks survive across runs (a mark
+// below the current epoch already reads as "unseen"), so a reset only
+// clears the retirement flags and truncates the gather buffers — no
+// allocation in the steady state.
 func (a *Auction) newIncrementalState() *incrementalState {
 	if a.incIndex == nil {
 		a.incIndex = a.buildIncrementalIndex()
 	}
-	return &incrementalState{
-		incrementalIndex: a.incIndex,
-		retired:          make([]bool, len(a.proxies)),
-		proxyMark:        make([]int32, len(a.proxies)),
-		poolMark:         make([]int32, a.reg.Len()),
+	st := a.incState
+	if st == nil {
+		st = &incrementalState{
+			incrementalIndex: a.incIndex,
+			retired:          make([]bool, len(a.proxies)),
+			proxyMark:        make([]int32, len(a.proxies)),
+			poolMark:         make([]int32, a.reg.Len()),
+		}
+		a.incState = st
+		return st
 	}
+	for i := range st.retired {
+		st.retired[i] = false
+	}
+	st.affected = st.affected[:0]
+	st.stale = st.stale[:0]
+	st.dirty = st.dirty[:0]
+	// Guard the epoch stamps against int32 wraparound across very many
+	// reuses: restart the epoch clock with cleared marks.
+	if st.epoch > 1<<30 {
+		st.epoch = 0
+		for i := range st.proxyMark {
+			st.proxyMark[i] = 0
+		}
+		for i := range st.poolMark {
+			st.poolMark[i] = 0
+		}
+	}
+	return st
 }
 
 // markStalePool records pool r for excess-demand recomputation, at most
@@ -117,16 +144,14 @@ func (st *incrementalState) markStalePool(r int32) {
 // The control flow mirrors runDense exactly — same round structure, same
 // stopping test, same error paths — so the two engines settle the same
 // choices at the same prices, bit for bit.
-func (a *Auction) runIncremental() (*Result, error) {
-	p := a.cfg.Start.Clone()
-	choices := make([]int, len(a.proxies))
-	res := a.newResult()
+func (a *Auction) runIncremental(res *Result) (*Result, error) {
+	p, z, choices := a.prepare()
+	step := a.sc.step
 	st := a.newIncrementalState()
 
 	// Round 0 is a full evaluation: every proxy is affected by the jump
 	// from "no prices" to the reserve prices, and z is built from scratch
 	// in the dense engine's proxy order.
-	z := a.reg.Zero()
 	active := a.collect(p, choices)
 	for i, c := range choices {
 		if c >= 0 {
@@ -144,12 +169,7 @@ func (a *Auction) runIncremental() (*Result, error) {
 			active = a.advance(st, p, choices, res, z, t, active)
 		}
 		if a.cfg.RecordHistory {
-			res.History = append(res.History, Round{
-				T:             t,
-				Prices:        p.Clone(),
-				ExcessDemand:  z.Clone(),
-				ActiveBidders: active,
-			})
+			res.History = appendRound(res.History, t, p, z, active)
 		}
 		if z.AllNonPositive(a.cfg.Epsilon) {
 			res.Converged = true
@@ -157,7 +177,7 @@ func (a *Auction) runIncremental() (*Result, error) {
 			a.settle(res, p, choices)
 			return res, nil
 		}
-		step := a.cfg.Policy.Step(z, p)
+		a.cfg.Policy.StepInto(step, z, p)
 		if !step.AllNonNegative(0) {
 			return nil, fmt.Errorf("core: policy %s produced a negative step", a.cfg.Policy.Name())
 		}
@@ -285,7 +305,17 @@ func (a *Auction) collectSubset(p resource.Vector, affected []int32, out []int) 
 		}
 		return out
 	}
+	// The goroutine fan-out lives in its own function so its closure
+	// cannot capture this function's reassigned `out` variable — that
+	// capture would heap-box the slice header on every call, putting an
+	// allocation on the serial path's steady-state rounds too.
+	a.collectSubsetParallel(p, affected, out)
+	return out
+}
 
+// collectSubsetParallel evaluates the affected proxies over all CPUs,
+// writing to disjoint slots of out.
+func (a *Auction) collectSubsetParallel(p resource.Vector, affected []int32, out []int) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(affected) {
 		workers = len(affected)
@@ -310,5 +340,4 @@ func (a *Auction) collectSubset(p resource.Vector, affected []int32, out []int) 
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }

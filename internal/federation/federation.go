@@ -441,6 +441,27 @@ func (f *Federation) Orders() []*FedOrder {
 	return out
 }
 
+// OrdersTail returns snapshots of the limit most recently routed orders
+// in routing order — the bounded read path for display pollers, which
+// copies O(limit) instead of every order ever routed. A non-positive
+// limit returns nil.
+func (f *Federation) OrdersTail(limit int) []*FedOrder {
+	if limit <= 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	start := len(f.orders) - limit
+	if start < 0 {
+		start = 0
+	}
+	out := make([]*FedOrder, 0, len(f.orders)-start)
+	for _, fo := range f.orders[start:] {
+		out = append(out, fo.snapshot())
+	}
+	return out
+}
+
 // Stats returns a snapshot of the router counters.
 func (f *Federation) Stats() Stats {
 	f.mu.Lock()

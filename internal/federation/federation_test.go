@@ -471,4 +471,12 @@ func TestOrderLookupIsIndexed(t *testing.T) {
 	if err != nil || fo.Status != market.Cancelled {
 		t.Fatalf("cancelled order = %+v, %v", fo, err)
 	}
+	// The bounded tail returns the most recently routed orders in order.
+	tail := f.OrdersTail(3)
+	if len(tail) != 3 || tail[0].ID != ids[17] || tail[2].ID != ids[19] {
+		t.Fatalf("OrdersTail(3) = %+v", tail)
+	}
+	if f.OrdersTail(0) != nil {
+		t.Error("non-positive tail limit returned entries")
+	}
 }

@@ -37,7 +37,9 @@ type Region struct {
 // market.Config applies to the region's exchange verbatim — including
 // the clock engine selector (Config.Engine), so a federation can run
 // every regional auctioneer on the incremental engine or pin one to the
-// dense reference path for ablation.
+// dense reference path for ablation, and the book stripe count
+// (Config.Shards), so every regional intake pipeline is itself
+// contention-free under the federation router's concurrent leg routing.
 func NewRegion(name string, fleet *cluster.Fleet, cfg market.Config) (*Region, error) {
 	if name == "" {
 		return nil, errors.New("federation: empty region name")

@@ -56,12 +56,13 @@ func (e *Exchange) Disburse(policy DisbursementPolicy, total float64) error {
 	if total <= 0 {
 		return errors.New("market: disbursement must be positive")
 	}
-	// Hold the book lock across the whole disbursement: the weight scan
-	// reads the quota ledger, which RunAuction's settlement writes under
-	// the same lock.
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	teams := e.teamsLocked()
+	// Exclude the settlement phase only: the weight scan reads the quota
+	// ledger, which RunAuction's settlement writes. Taking settleMu (not
+	// auctionMu) means a disbursement waits out a settlement, not an
+	// entire clock run.
+	e.settleMu.Lock()
+	defer e.settleMu.Unlock()
+	teams := e.Teams()
 	if len(teams) == 0 {
 		return errors.New("market: no team accounts")
 	}
@@ -94,14 +95,21 @@ func (e *Exchange) Disburse(policy DisbursementPolicy, total float64) error {
 		sum = float64(len(weights))
 	}
 
-	auction := len(e.history)
+	auction := e.AuctionCount()
+	entries := make([]LedgerEntry, 0, 2*len(teams))
 	for i, team := range teams {
 		amount := total * weights[i] / sum
 		if amount == 0 {
 			continue
 		}
-		e.credit(team, amount, auction, fmt.Sprintf("budget disbursement (%s)", policy))
-		e.credit(OperatorAccount, -amount, auction, fmt.Sprintf("budget disbursement to %s", team))
+		e.creditBalance(team, amount)
+		e.creditBalance(OperatorAccount, -amount)
+		entries = append(entries,
+			LedgerEntry{Auction: auction, Team: team, Amount: amount,
+				Memo: fmt.Sprintf("budget disbursement (%s)", policy)},
+			LedgerEntry{Auction: auction, Team: OperatorAccount, Amount: -amount,
+				Memo: fmt.Sprintf("budget disbursement to %s", team)})
 	}
+	e.appendLedger(entries)
 	return nil
 }

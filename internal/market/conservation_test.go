@@ -3,6 +3,7 @@ package market
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"clustermarket/internal/cluster"
@@ -73,6 +74,144 @@ func TestLedgerConservationRandomized(t *testing.T) {
 		}
 		assertAuctionWinsWithinCapacity(t, ex, epoch)
 	}
+}
+
+// TestShardedPipelineStressConservation hammers the sharded order
+// pipeline from every direction at once — submits, cancels, status
+// polls, and a continuously settling auctioneer across all stripes (run
+// with -race) — then asserts the invariants the striped books must still
+// uphold once traffic quiesces: the double-entry ledger sums to zero, no
+// team balance is negative, the open-order counters agree with a full
+// scan, and the incremental budget commitments agree with the book.
+func TestShardedPipelineStressConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fleet := cluster.NewFleet()
+	clusters := []string{"s1", "s2", "s3", "s4"}
+	for i, name := range clusters {
+		c := cluster.New(name, nil)
+		c.AddMachines(15, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := fleet.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+		util := 0.1 + 0.2*float64(i)
+		if err := fleet.FillToUtilization(rng, name, cluster.Usage{CPU: util, RAM: util, Disk: util}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex, err := NewExchange(fleet, Config{InitialBudget: 1e6, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for _, tm := range teams {
+		if err := ex.OpenAccount(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	auctioneerDone := make(chan struct{})
+	go func() {
+		defer close(auctioneerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := ex.RunAuction(); err != nil &&
+				!errors.Is(err, ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
+				t.Errorf("RunAuction: %v", err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 2*len(teams); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			team := teams[g%len(teams)]
+			for i := 0; i < 60; i++ {
+				n := 1 + rng.Intn(len(clusters))
+				var cs []string
+				for _, pi := range rng.Perm(len(clusters))[:n] {
+					cs = append(cs, clusters[pi])
+				}
+				o, err := ex.SubmitProduct(team, "batch-compute", 1+rng.Float64()*2, cs, 2+rng.Float64()*60)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				switch i % 4 {
+				case 0:
+					// Cancel may legitimately lose the race with the clock.
+					_ = ex.Cancel(o.ID)
+				case 1:
+					if got, err := ex.Order(o.ID); err != nil || got.ID != o.ID {
+						t.Errorf("order poll: %+v, %v", got, err)
+						return
+					}
+				case 2:
+					_ = ex.OpenOrderCount()
+					if _, err := ex.Balance(team); err != nil {
+						t.Errorf("balance: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	<-auctioneerDone
+	// Drain the book so every order reaches a terminal state.
+	for i := 0; ex.OpenOrderCount() > 0; i++ {
+		if i >= 100 {
+			t.Fatal("book did not drain")
+		}
+		if _, _, err := ex.RunAuction(); err != nil &&
+			!errors.Is(err, ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
+			t.Fatal(err)
+		}
+	}
+
+	if !ex.LedgerBalanced(1e-6) {
+		t.Error("ledger unbalanced after sharded stress")
+	}
+	for _, team := range ex.Teams() {
+		bal, err := ex.Balance(team)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bal < -1e-6 {
+			t.Errorf("%s balance %g < 0", team, bal)
+		}
+	}
+	// Per-stripe open counters must agree with a status scan, and the
+	// budget commitments with the surviving open exposure (none remain
+	// after the drain).
+	openScan := 0
+	for _, o := range ex.Orders() {
+		if o.Status == Open {
+			openScan++
+		}
+	}
+	if got := ex.OpenOrderCount(); got != openScan {
+		t.Errorf("OpenOrderCount = %d, scan says %d", got, openScan)
+	}
+	for s := range ex.accountShards {
+		as := &ex.accountShards[s]
+		as.mu.RLock()
+		for team, got := range as.openBuy {
+			if got < -1e-9 || got > 1e-9 {
+				t.Errorf("openBuy[%s] = %v after drain, want 0", team, got)
+			}
+		}
+		as.mu.RUnlock()
+	}
+	assertAuctionWinsWithinCapacity(t, ex, -1)
 }
 
 // assertAuctionWinsWithinCapacity sums the won allocations per (auction,

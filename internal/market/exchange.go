@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
@@ -78,7 +79,7 @@ type Order struct {
 	// in-flight clock. Such orders cannot be cancelled: a winner that
 	// vanished mid-clock would break quota conservation (its
 	// counterparties' allocations were computed assuming its
-	// contribution). Guarded by the exchange lock.
+	// contribution). Guarded by the order's shard lock.
 	inAuction bool
 }
 
@@ -161,6 +162,11 @@ type Config struct {
 	// keeps one cycling trader pair from rejoining every epoch and
 	// livelocking the market.
 	MaxAuctionAttempts int
+	// Shards is the number of stripes the order and account books are
+	// split into (default DefaultShards). Submits, cancels, and reads in
+	// different stripes never share a lock, so order entry scales with
+	// CPUs instead of serializing on one book mutex.
+	Shards int
 	// Auction tuning; zero values select core defaults.
 	Policy    core.IncrementPolicy
 	Epsilon   float64
@@ -184,21 +190,40 @@ func (c *Config) applyDefaults() {
 	if c.MaxAuctionAttempts <= 0 {
 		c.MaxAuctionAttempts = 3
 	}
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
 }
 
 // Exchange is the trading platform: accounts, an order book, and the
 // periodic clock auction that settles it.
 //
-// All methods are safe for concurrent use. Two locks split the work the
-// way the paper's platform does (one auctioneer, many traders):
+// All methods are safe for concurrent use. The book is striped so the
+// order pipeline is contention-free (the paper's one-auctioneer,
+// many-traders split, scaled out):
 //
-//   - mu guards the book state (accounts, orders, ledger, history).
-//     Submits, cancels, and every read path take it only briefly, so
-//     traffic keeps flowing while a clock auction is in progress.
-//   - auctionMu serializes binding auctions. The clock itself runs
-//     without holding mu: RunAuction snapshots the open batch, iterates
-//     the clock lock-free, then reacquires mu to settle. Orders submitted
-//     meanwhile simply join the next epoch's batch.
+//   - The order book is split into Config.Shards stripes keyed by order
+//     ID, the account book into stripes keyed by team. Submits, cancels,
+//     status polls, and balance reads in different stripes never touch
+//     the same lock, and every stripe's critical section is O(1).
+//   - The billing ledger and the auction history each have their own
+//     lock; settlement appends a whole auction's ledger entries in one
+//     critical section, so LedgerBalanced holds at every observable
+//     instant.
+//   - auctionMu serializes binding auctions (one auctioneer at a time).
+//     The clock itself runs without any book lock: RunAuction claims the
+//     open batch stripe by stripe, iterates the clock lock-free, then
+//     settles stripe by stripe. Orders submitted meanwhile simply join
+//     the next epoch's batch.
+//
+// Settlement is atomic per account (a win's budget-commitment release
+// and payment debit happen under one stripe lock, so balances can never
+// be overcommitted mid-settlement) but not across the whole book: a
+// reader polling during settlement may see one order Won while another
+// in the same auction is still marked Open a microsecond longer. The
+// post-conditions — balanced ledger, non-negative balances, conserved
+// quota — hold once RunAuction returns, which the race stress tests
+// assert.
 //
 // Read accessors (Orders, OpenOrders, Ledger, History, …) return
 // snapshots rather than aliases of internal slices; the frozen,
@@ -213,17 +238,25 @@ type Exchange struct {
 
 	// auctionMu serializes RunAuction: one auctioneer at a time.
 	auctionMu sync.Mutex
+	// settleMu excludes budget disbursement from the settlement phase
+	// only (Disburse's weight scan reads the quota ledger that settlement
+	// writes). RunAuction takes it after the clock completes, so a
+	// disbursement waits out a settlement — not an entire clock run.
+	// Lock order: auctionMu before settleMu; shard locks are leaves.
+	settleMu sync.Mutex
 
-	mu       sync.RWMutex
-	balances map[string]float64
-	orders   []*Order
+	// submitSeq spreads order entry round-robin across the order stripes;
+	// for serial traffic this reproduces the unsharded book's sequential
+	// ID assignment exactly.
+	submitSeq     atomic.Uint64
+	orderShards   []orderShard
+	accountShards []accountShard
+
+	ledgerMu sync.RWMutex
 	ledger   []LedgerEntry
-	history  []*AuctionRecord
-	nextID   int
-	// openBuy is each team's summed positive limits over open orders —
-	// maintained incrementally so Submit's budget check is O(1) instead
-	// of a scan of every order ever booked.
-	openBuy map[string]float64
+
+	histMu  sync.RWMutex
+	history []*AuctionRecord
 }
 
 // NewExchange wires an exchange to a fleet. The registry is derived from
@@ -237,15 +270,22 @@ func NewExchange(fleet *cluster.Fleet, cfg Config) (*Exchange, error) {
 	if reg.Len() == 0 {
 		return nil, errors.New("market: fleet has no clusters")
 	}
-	return &Exchange{
-		cfg:      cfg,
-		fleet:    fleet,
-		reg:      reg,
-		catalog:  StandardCatalog(),
-		pricer:   reserve.NewPricer(cfg.Weight),
-		balances: map[string]float64{OperatorAccount: 0},
-		openBuy:  make(map[string]float64),
-	}, nil
+	e := &Exchange{
+		cfg:           cfg,
+		fleet:         fleet,
+		reg:           reg,
+		catalog:       StandardCatalog(),
+		pricer:        reserve.NewPricer(cfg.Weight),
+		orderShards:   make([]orderShard, cfg.Shards),
+		accountShards: make([]accountShard, cfg.Shards),
+	}
+	for i := range e.accountShards {
+		e.accountShards[i].balances = make(map[string]float64)
+		e.accountShards[i].openBuy = make(map[string]float64)
+	}
+	op := e.accountShardFor(OperatorAccount)
+	op.balances[OperatorAccount] = 0
+	return e, nil
 }
 
 // Registry returns the exchange's pool registry.
@@ -257,26 +297,31 @@ func (e *Exchange) Catalog() *Catalog { return e.catalog }
 // Fleet returns the underlying fleet.
 func (e *Exchange) Fleet() *cluster.Fleet { return e.fleet }
 
+// Shards returns the stripe count of the order and account books.
+func (e *Exchange) Shards() int { return len(e.orderShards) }
+
 // OpenAccount creates a team account with the configured initial budget
 // ("engineering teams were given budget dollars", Section V).
 func (e *Exchange) OpenAccount(team string) error {
 	if team == "" || team == OperatorAccount {
 		return fmt.Errorf("market: invalid team name %q", team)
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.balances[team]; ok {
+	as := e.accountShardFor(team)
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if _, ok := as.balances[team]; ok {
 		return fmt.Errorf("market: account %q exists", team)
 	}
-	e.balances[team] = e.cfg.InitialBudget
+	as.balances[team] = e.cfg.InitialBudget
 	return nil
 }
 
 // Balance returns the team's budget balance.
 func (e *Exchange) Balance(team string) (float64, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	b, ok := e.balances[team]
+	as := e.accountShardFor(team)
+	as.mu.RLock()
+	defer as.mu.RUnlock()
+	b, ok := as.balances[team]
 	if !ok {
 		return 0, fmt.Errorf("market: no account %q", team)
 	}
@@ -307,34 +352,91 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 		return nil, err
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	bal, ok := e.balances[team]
+	// Budget check and commitment, atomically on the team's account
+	// stripe. MaxLimit is the bid's worst-case payment exposure: the
+	// scalar Limit, or the largest per-bundle limit for vector-π bids.
+	as := e.accountShardFor(team)
+	exp := b.MaxLimit()
+	as.mu.Lock()
+	bal, ok := as.balances[team]
 	if !ok {
+		as.mu.Unlock()
 		return nil, fmt.Errorf("market: no account %q", team)
 	}
-	// MaxLimit is the bid's worst-case payment exposure: the scalar
-	// Limit, or the largest per-bundle limit for vector-π bids.
-	if exp := b.MaxLimit(); exp > 0 {
-		committed := e.openBuy[team]
+	if exp > 0 {
+		committed := as.openBuy[team]
 		if exp+committed > bal {
+			as.mu.Unlock()
 			return nil, fmt.Errorf("market: %q limit %.2f exceeds available budget %.2f",
 				team, exp, bal-committed)
 		}
-		e.openBuy[team] = committed + exp
+		as.openBuy[team] = committed + exp
 	}
-	o := &Order{ID: e.nextID, Team: team, Bid: &b, Status: Open, Auction: -1}
-	e.nextID++
-	e.orders = append(e.orders, o)
-	return o.snapshot(), nil
+	as.mu.Unlock()
+
+	// Book the order into the next stripe round-robin. The ID is
+	// allocated under the stripe lock from the append position, so the
+	// stripe's slice stays dense and in ID order.
+	n := len(e.orderShards)
+	sIdx := int(e.submitSeq.Add(1)-1) % n
+	os := &e.orderShards[sIdx]
+	os.mu.Lock()
+	o := &Order{ID: len(os.orders)*n + sIdx, Team: team, Bid: &b, Status: Open, Auction: -1}
+	os.orders = append(os.orders, o)
+	os.open = append(os.open, o)
+	os.openCount++
+	snap := o.snapshot()
+	os.mu.Unlock()
+	return snap, nil
 }
 
-// releaseCommitmentLocked removes an order leaving the Open state from
-// its team's running buy commitment. Callers must hold e.mu.
-func (e *Exchange) releaseCommitmentLocked(o *Order) {
+// releaseCommitment removes an order leaving the Open state from its
+// team's running buy commitment.
+func (e *Exchange) releaseCommitment(o *Order) {
 	if exp := o.Bid.MaxLimit(); exp > 0 {
-		e.openBuy[o.Team] -= exp
+		as := e.accountShardFor(o.Team)
+		as.mu.Lock()
+		as.openBuy[o.Team] -= exp
+		as.mu.Unlock()
 	}
+}
+
+// settleWin atomically releases the winning order's budget commitment and
+// debits its payment on the team's account stripe. Doing both under one
+// lock matters: releasing first would let a racing Submit commit the
+// balance the payment is about to take, driving the account negative at
+// the next settlement.
+func (e *Exchange) settleWin(o *Order) {
+	as := e.accountShardFor(o.Team)
+	as.mu.Lock()
+	if exp := o.Bid.MaxLimit(); exp > 0 {
+		as.openBuy[o.Team] -= exp
+	}
+	as.balances[o.Team] -= o.Payment
+	as.mu.Unlock()
+}
+
+// creditBalance adjusts a balance (the ledger entry is appended
+// separately, batched per auction).
+func (e *Exchange) creditBalance(team string, amount float64) {
+	as := e.accountShardFor(team)
+	as.mu.Lock()
+	as.balances[team] += amount
+	as.mu.Unlock()
+}
+
+// appendLedger assigns sequence numbers and appends a batch of entries in
+// one critical section, so the ledger never exposes a half-posted trade.
+func (e *Exchange) appendLedger(entries []LedgerEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	e.ledgerMu.Lock()
+	for i := range entries {
+		entries[i].Seq = len(e.ledger)
+		e.ledger = append(e.ledger, entries[i])
+	}
+	e.ledgerMu.Unlock()
 }
 
 // SubmitProduct is the two-step bid entry path of Figure 4: the team
@@ -375,85 +477,81 @@ func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []s
 // being settled by an in-flight auction cannot be withdrawn — its bid
 // is already in the clock, and counterparty allocations depend on it.
 func (e *Exchange) Cancel(id int) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, o := range e.orders {
-		if o.ID == id {
-			if o.Status != Open {
-				return fmt.Errorf("market: order %d is %s", id, o.Status)
-			}
-			if o.inAuction {
-				return fmt.Errorf("market: order %d is in a settling auction", id)
-			}
-			o.Status = Cancelled
-			e.releaseCommitmentLocked(o)
-			return nil
-		}
+	o := e.liveOrder(id)
+	if o == nil {
+		return fmt.Errorf("market: no order %d", id)
 	}
-	return fmt.Errorf("market: no order %d", id)
+	os := e.orderShardFor(id)
+	os.mu.Lock()
+	if o.Status != Open {
+		os.mu.Unlock()
+		return fmt.Errorf("market: order %d is %s", id, o.Status)
+	}
+	if o.inAuction {
+		os.mu.Unlock()
+		return fmt.Errorf("market: order %d is in a settling auction", id)
+	}
+	o.Status = Cancelled
+	os.openCount--
+	os.mu.Unlock()
+	e.releaseCommitment(o)
+	return nil
 }
 
-// Order returns a snapshot of the order with the given id.
+// Order returns a snapshot of the order with the given id. Striped IDs
+// make this O(1): shard k%N, slot k/N.
 func (e *Exchange) Order(id int) (*Order, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	// IDs are assigned from the append position, so the slot at index id
-	// is the order — O(1) for the status-polling hot path (the federation
-	// router polls legs after every regional settlement). The scan below
-	// is a fallback in case the invariant ever changes.
-	if id >= 0 && id < len(e.orders) && e.orders[id].ID == id {
-		return e.orders[id].snapshot(), nil
-	}
-	for _, o := range e.orders {
-		if o.ID == id {
-			return o.snapshot(), nil
+	os := e.orderShardFor(id)
+	if os != nil {
+		j := id / len(e.orderShards)
+		os.mu.RLock()
+		if j < len(os.orders) {
+			snap := os.orders[j].snapshot()
+			os.mu.RUnlock()
+			return snap, nil
 		}
+		os.mu.RUnlock()
 	}
 	return nil, fmt.Errorf("market: no order %d", id)
 }
 
-// openOrdersLocked returns the live open orders (internal pointers).
-// Callers must hold e.mu.
-func (e *Exchange) openOrdersLocked() []*Order {
-	var out []*Order
-	for _, o := range e.orders {
-		if o.Status == Open {
-			out = append(out, o)
-		}
-	}
-	return out
-}
-
-// OpenOrderCount returns the number of orders awaiting the next
-// auction, without snapshotting them.
+// OpenOrderCount returns the number of orders awaiting the next auction,
+// summing the per-stripe counters instead of scanning the book.
 func (e *Exchange) OpenOrderCount() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	n := 0
-	for _, o := range e.orders {
-		if o.Status == Open {
-			n++
-		}
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		n += os.openCount
+		os.mu.RUnlock()
 	}
 	return n
 }
 
-// OpenOrders returns snapshots of the orders awaiting the next auction.
+// OpenOrders returns snapshots of the orders awaiting the next auction,
+// in ID order.
 func (e *Exchange) OpenOrders() []*Order {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
 	var out []*Order
-	for _, o := range e.openOrdersLocked() {
-		out = append(out, o.snapshot())
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		for _, o := range os.open {
+			if o.Status == Open {
+				out = append(out, o.snapshot())
+			}
+		}
+		os.mu.RUnlock()
 	}
+	sortOrdersByID(out)
 	return out
 }
 
-// lastClearingPricesLocked returns the prices of the most recent
-// converged auction, or nil when none exists. A failed clock's final
-// prices are not clearing prices and must never be displayed as market
-// prices. Callers must hold e.mu.
-func (e *Exchange) lastClearingPricesLocked() resource.Vector {
+// lastClearingPrices returns the prices of the most recent converged
+// auction, or nil when none exists. A failed clock's final prices are
+// not clearing prices and must never be displayed as market prices.
+func (e *Exchange) lastClearingPrices() resource.Vector {
+	e.histMu.RLock()
+	defer e.histMu.RUnlock()
 	for i := len(e.history) - 1; i >= 0; i-- {
 		if e.history[i].Converged {
 			return e.history[i].Prices
@@ -464,44 +562,149 @@ func (e *Exchange) lastClearingPricesLocked() resource.Vector {
 
 // LastClearingPrices returns the settlement prices of the most recent
 // converged auction, or nil before the first one.
-func (e *Exchange) LastClearingPrices() resource.Vector {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.lastClearingPricesLocked()
-}
+func (e *Exchange) LastClearingPrices() resource.Vector { return e.lastClearingPrices() }
 
-// Orders returns snapshots of every order ever submitted.
+// Orders returns snapshots of every order ever submitted, in ID order —
+// the full-dump path used by tests and batch consumers. Interactive
+// pollers should prefer OrdersTail, which bounds the copy.
 func (e *Exchange) Orders() []*Order {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]*Order, len(e.orders))
-	for i, o := range e.orders {
-		out[i] = o.snapshot()
+	var out []*Order
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		for _, o := range os.orders {
+			out = append(out, o.snapshot())
+		}
+		os.mu.RUnlock()
 	}
+	sortOrdersByID(out)
 	return out
 }
 
-// Ledger returns a copy of the billing entries.
+// OrdersTail returns snapshots of the limit highest-ID (most recent)
+// orders in ID order — the bounded read path for display pollers, which
+// snapshots O(limit) orders instead of the whole book. A non-positive
+// limit returns nil.
+func (e *Exchange) OrdersTail(limit int) []*Order {
+	if limit <= 0 {
+		return nil
+	}
+	// Stripe slots are dense (slot j holds ID j*n + s), so each stripe's
+	// candidate tail IDs follow from its length alone — no order is
+	// touched, let alone snapshotted, until the global top-limit IDs are
+	// known.
+	n := len(e.orderShards)
+	var ids []int
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		size := len(os.orders)
+		os.mu.RUnlock()
+		start := size - limit
+		if start < 0 {
+			start = 0
+		}
+		for j := start; j < size; j++ {
+			ids = append(ids, j*n+s)
+		}
+	}
+	sort.Ints(ids)
+	if len(ids) > limit {
+		ids = ids[len(ids)-limit:]
+	}
+	// The selected IDs form a contiguous slot tail per stripe (they are
+	// the globally largest), so each stripe is snapshotted as one range
+	// under a single lock acquisition.
+	type span struct{ lo, hi int }
+	spans := make([]span, n)
+	for s := range spans {
+		spans[s] = span{lo: -1, hi: -1}
+	}
+	for _, id := range ids {
+		s, j := id%n, id/n
+		if spans[s].lo < 0 || j < spans[s].lo {
+			spans[s].lo = j
+		}
+		if j > spans[s].hi {
+			spans[s].hi = j
+		}
+	}
+	out := make([]*Order, 0, len(ids))
+	for s, sp := range spans {
+		if sp.lo < 0 {
+			continue
+		}
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		for j := sp.lo; j <= sp.hi && j < len(os.orders); j++ {
+			out = append(out, os.orders[j].snapshot())
+		}
+		os.mu.RUnlock()
+	}
+	sortOrdersByID(out)
+	return out
+}
+
+// Ledger returns a copy of the billing entries — the full-dump path.
+// Display pollers should prefer LedgerTail.
 func (e *Exchange) Ledger() []LedgerEntry {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.ledgerMu.RLock()
+	defer e.ledgerMu.RUnlock()
 	return append([]LedgerEntry(nil), e.ledger...)
 }
 
-// History returns the settled auction records. Records are immutable
-// once appended, so only the slice is copied.
+// LedgerTail returns the most recent limit billing entries, oldest
+// first. A non-positive limit returns nil.
+func (e *Exchange) LedgerTail(limit int) []LedgerEntry {
+	if limit <= 0 {
+		return nil
+	}
+	e.ledgerMu.RLock()
+	defer e.ledgerMu.RUnlock()
+	start := len(e.ledger) - limit
+	if start < 0 {
+		start = 0
+	}
+	return append([]LedgerEntry(nil), e.ledger[start:]...)
+}
+
+// History returns the settled auction records — the full-dump path.
+// Records are immutable once appended, so only the slice is copied.
+// Display pollers should prefer HistoryTail.
 func (e *Exchange) History() []*AuctionRecord {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.histMu.RLock()
+	defer e.histMu.RUnlock()
 	return append([]*AuctionRecord(nil), e.history...)
+}
+
+// HistoryTail returns the most recent limit auction records, oldest
+// first. A non-positive limit returns nil.
+func (e *Exchange) HistoryTail(limit int) []*AuctionRecord {
+	if limit <= 0 {
+		return nil
+	}
+	e.histMu.RLock()
+	defer e.histMu.RUnlock()
+	start := len(e.history) - limit
+	if start < 0 {
+		start = 0
+	}
+	return append([]*AuctionRecord(nil), e.history[start:]...)
 }
 
 // AuctionCount returns the number of auctions attempted so far (the
 // length of History, without copying it).
 func (e *Exchange) AuctionCount() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.histMu.RLock()
+	defer e.histMu.RUnlock()
 	return len(e.history)
+}
+
+// appendHistory publishes a settled auction record.
+func (e *Exchange) appendHistory(rec *AuctionRecord) {
+	e.histMu.Lock()
+	e.history = append(e.history, rec)
+	e.histMu.Unlock()
 }
 
 // ReservePrices computes the current congestion-weighted reserve price
@@ -537,12 +740,21 @@ func (e *Exchange) operatorSupply() *core.Bid {
 // path used by PreliminaryPrices). Bids are frozen, so reading them
 // lock-free afterwards is safe.
 func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
-	e.mu.RLock()
-	open := e.openOrdersLocked()
-	e.mu.RUnlock()
+	var open []*Order
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		for _, o := range os.open {
+			if o.Status == Open {
+				open = append(open, o)
+			}
+		}
+		os.mu.RUnlock()
+	}
 	if len(open) == 0 {
 		return nil, nil, ErrNoOpenOrders
 	}
+	sortOrdersByID(open)
 	bids := make([]*core.Bid, 0, len(open)+1)
 	for _, o := range open {
 		bids = append(bids, o.Bid)
@@ -555,18 +767,37 @@ func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
 
 // claimBatch assembles the open batch for a binding auction and marks
 // every order in it as in-auction, so it cannot be cancelled while the
-// clock runs. The batch must later be released — by settlement or by
-// releaseBatch on an error path.
+// clock runs. Each stripe is claimed under its own lock and compacted in
+// the same pass (terminal orders left behind by earlier settlements are
+// dropped from the claim list here, so settlement itself never scans);
+// the merged batch is then sorted back into global ID order, preserving
+// the unsharded book's batch semantics. The batch must later be released
+// — by settlement or by releaseBatch on an error path.
 func (e *Exchange) claimBatch() ([]*core.Bid, []*Order, error) {
-	e.mu.Lock()
-	open := e.openOrdersLocked()
-	for _, o := range open {
-		o.inAuction = true
+	var open []*Order
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.Lock()
+		kept := os.open[:0]
+		for _, o := range os.open {
+			if o.Status == Open {
+				o.inAuction = true
+				kept = append(kept, o)
+				open = append(open, o)
+			}
+		}
+		// Drop the compacted tail's pointers so settled orders are not
+		// pinned by the claim list's backing array.
+		for i := len(kept); i < len(os.open); i++ {
+			os.open[i] = nil
+		}
+		os.open = kept
+		os.mu.Unlock()
 	}
-	e.mu.Unlock()
 	if len(open) == 0 {
 		return nil, nil, ErrNoOpenOrders
 	}
+	sortOrdersByID(open)
 	bids := make([]*core.Bid, 0, len(open)+1)
 	for _, o := range open {
 		bids = append(bids, o.Bid)
@@ -580,11 +811,12 @@ func (e *Exchange) claimBatch() ([]*core.Bid, []*Order, error) {
 // releaseBatch clears the in-auction marks after an auction that never
 // reached settlement.
 func (e *Exchange) releaseBatch(open []*Order) {
-	e.mu.Lock()
 	for _, o := range open {
+		os := e.orderShardFor(o.ID)
+		os.mu.Lock()
 		o.inAuction = false
+		os.mu.Unlock()
 	}
-	e.mu.Unlock()
 }
 
 // PreliminaryPrices runs a non-binding simulation of the clock auction
@@ -630,9 +862,12 @@ func (e *Exchange) PreliminaryPrices() (prices resource.Vector, converged bool, 
 // AuctionRecord. The core result is returned for inspection.
 //
 // Auctions are serialized (one auctioneer), but the clock itself runs
-// without holding the book lock: submits and reads proceed concurrently,
+// without holding any book lock: submits and reads proceed concurrently,
 // and orders arriving mid-run join the next batch. Orders already in the
 // settling batch are claimed for its duration and cannot be cancelled.
+// Settlement walks the batch claiming each order's stripe briefly; see
+// the Exchange doc comment for the (per-account atomic) consistency
+// model readers observe mid-settlement.
 //
 // A clock that fails to converge (core.ErrNoConvergence) stopped at
 // non-clearing prices, so nothing settles: orders stay Open for the next
@@ -669,9 +904,13 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		return nil, nil, runErr
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	num := len(e.history) + 1
+	// The clock is done; only the settlement phase excludes Disburse.
+	e.settleMu.Lock()
+	defer e.settleMu.Unlock()
+
+	// auctionMu serializes history appends, so the next number is stable
+	// across the whole settlement.
+	num := e.AuctionCount() + 1
 	rec := &AuctionRecord{
 		Number:    num,
 		Reserve:   start,
@@ -687,72 +926,73 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		// batch has now failed MaxAuctionAttempts times, so a cycling
 		// trader pair cannot livelock every future epoch.
 		for _, o := range open {
+			os := e.orderShardFor(o.ID)
+			os.mu.Lock()
 			o.inAuction = false
 			o.Attempts++
-			if o.Attempts >= e.cfg.MaxAuctionAttempts {
+			retired := o.Attempts >= e.cfg.MaxAuctionAttempts
+			if retired {
 				o.Status = Unsettled
 				o.Auction = num
-				e.releaseCommitmentLocked(o)
+				os.openCount--
+			}
+			os.mu.Unlock()
+			if retired {
+				e.releaseCommitment(o)
 			}
 		}
-		e.history = append(e.history, rec)
+		e.appendHistory(rec)
 		return rec, res, runErr
 	}
 	// Settle orders (indices in `bids` match `open` for i < len(open)).
 	// Every order in the batch is still Open: the in-auction mark blocks
-	// cancellation while the clock runs.
+	// cancellation while the clock runs. Ledger entries are gathered
+	// locally and posted in one batch below.
+	entries := make([]LedgerEntry, 0, 2*len(open))
 	for i, o := range open {
+		os := e.orderShardFor(o.ID)
+		os.mu.Lock()
 		o.inAuction = false
 		o.Auction = num
-		e.releaseCommitmentLocked(o)
+		os.openCount--
 		if !res.IsWinner(i) {
 			o.Status = Lost
+			os.mu.Unlock()
+			e.releaseCommitment(o)
 			continue
 		}
 		o.Status = Won
 		o.Allocation = res.Allocations[i]
 		o.Payment = res.Payments[i]
+		os.mu.Unlock()
 		rec.Settled++
 		// γ_u is measured against the limit that governed the *winning*
 		// bundle: for vector-limit bids the scalar Limit is ignored by the
 		// proxy, so using it here would corrupt the Table I statistics.
 		rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.LimitFor(res.ChosenBundle[i]), o.Payment))
-		e.applySettlement(o, num)
+		e.settleWin(o)
+		e.creditBalance(OperatorAccount, o.Payment)
+		entries = append(entries,
+			LedgerEntry{Auction: num, Team: o.Team, Amount: -o.Payment,
+				Memo: fmt.Sprintf("order %d settlement", o.ID)},
+			LedgerEntry{Auction: num, Team: OperatorAccount, Amount: o.Payment,
+				Memo: fmt.Sprintf("counterparty for order %d", o.ID)})
+		e.fleet.Quotas().ApplyAllocation(e.reg, o.Team, o.Allocation)
 	}
 	// The operator's supply bid exists to inject capacity and anchor the
 	// clock at the reserve prices; its money flow is already captured by
 	// the counterparty credits above (the exchange clears every trade
 	// against the operator account), so no further entry is needed here.
-	e.history = append(e.history, rec)
+	e.appendLedger(entries)
+	e.appendHistory(rec)
 	return rec, res, runErr
-}
-
-// applySettlement moves money and quota for one winning order. Callers
-// must hold e.mu.
-func (e *Exchange) applySettlement(o *Order, auction int) {
-	e.credit(o.Team, -o.Payment, auction, fmt.Sprintf("order %d settlement", o.ID))
-	e.credit(OperatorAccount, o.Payment, auction, fmt.Sprintf("counterparty for order %d", o.ID))
-	e.fleet.Quotas().ApplyAllocation(e.reg, o.Team, o.Allocation)
-}
-
-// credit adjusts a balance and appends a ledger entry. Callers must hold
-// e.mu.
-func (e *Exchange) credit(team string, amount float64, auction int, memo string) {
-	e.balances[team] += amount
-	e.ledger = append(e.ledger, LedgerEntry{
-		Seq:     len(e.ledger),
-		Auction: auction,
-		Team:    team,
-		Amount:  amount,
-		Memo:    memo,
-	})
 }
 
 // LedgerBalanced reports whether all ledger entries sum to zero (every
 // debit has a matching credit).
 func (e *Exchange) LedgerBalanced(eps float64) bool {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.ledgerMu.RLock()
+	defer e.ledgerMu.RUnlock()
 	var s float64
 	for _, le := range e.ledger {
 		s += le.Amount
@@ -760,22 +1000,19 @@ func (e *Exchange) LedgerBalanced(eps float64) bool {
 	return s < eps && s > -eps
 }
 
-// teamsLocked lists the non-operator accounts in sorted order. Callers
-// must hold e.mu.
-func (e *Exchange) teamsLocked() []string {
-	out := make([]string, 0, len(e.balances))
-	for t := range e.balances {
-		if t != OperatorAccount {
-			out = append(out, t)
+// Teams lists the non-operator accounts in sorted order.
+func (e *Exchange) Teams() []string {
+	var out []string
+	for s := range e.accountShards {
+		as := &e.accountShards[s]
+		as.mu.RLock()
+		for t := range as.balances {
+			if t != OperatorAccount {
+				out = append(out, t)
+			}
 		}
+		as.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
-}
-
-// Teams lists the non-operator accounts in sorted order.
-func (e *Exchange) Teams() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.teamsLocked()
 }

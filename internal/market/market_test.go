@@ -445,6 +445,19 @@ func TestPriceHistory(t *testing.T) {
 	if e.PriceHistory(resource.Pool{Cluster: "zz", Dim: resource.CPU}) != nil {
 		t.Error("unknown pool returned history")
 	}
+	// The bounded tail returns the most recent clearing prices in order.
+	if ht := e.PriceHistoryTail(pool, 1); len(ht) != 1 || ht[0] != h[1] {
+		t.Errorf("PriceHistoryTail(1) = %v, want %v", ht, h[1:])
+	}
+	if ht := e.PriceHistoryTail(pool, 10); len(ht) != 2 || ht[0] != h[0] || ht[1] != h[1] {
+		t.Errorf("PriceHistoryTail(10) = %v, want %v", ht, h)
+	}
+	if e.PriceHistoryTail(pool, 0) != nil {
+		t.Error("non-positive tail limit returned prices")
+	}
+	if e.PriceHistoryTail(resource.Pool{Cluster: "zz", Dim: resource.CPU}, 5) != nil {
+		t.Error("unknown pool returned tail history")
+	}
 }
 
 func TestCatalog(t *testing.T) {
@@ -854,19 +867,24 @@ func TestConcurrentTraffic(t *testing.T) {
 		}
 	}
 	// The incremental open-buy commitment must agree with a full scan.
-	e.mu.RLock()
+	// Traffic has stopped, so the snapshot and the stripe reads are
+	// consistent.
 	scan := make(map[string]float64)
-	for _, o := range e.orders {
+	for _, o := range e.Orders() {
 		if o.Status == Open && o.Bid.MaxLimit() > 0 {
 			scan[o.Team] += o.Bid.MaxLimit()
 		}
 	}
-	for team, got := range e.openBuy {
-		if math.Abs(got-scan[team]) > 1e-9 {
-			t.Errorf("openBuy[%s] = %v, scan says %v", team, got, scan[team])
+	for s := range e.accountShards {
+		as := &e.accountShards[s]
+		as.mu.RLock()
+		for team, got := range as.openBuy {
+			if math.Abs(got-scan[team]) > 1e-9 {
+				t.Errorf("openBuy[%s] = %v, scan says %v", team, got, scan[team])
+			}
 		}
+		as.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 }
 
 // TestVectorPiBidBudgetEnforced is the regression test for the budget

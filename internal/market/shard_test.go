@@ -1,0 +1,165 @@
+package market
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedSerialIDsSequential pins the sharded book's compatibility
+// contract: serial traffic sees exactly the unsharded behavior — IDs
+// assigned 0, 1, 2, … in submission order, Orders() in that order, and
+// O(1) lookup by ID across stripes.
+func TestShardedSerialIDsSequential(t *testing.T) {
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e6, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", e.Shards())
+	}
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 11 // not a multiple of the stripe count
+	for i := 0; i < n; i++ {
+		o, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.ID != i {
+			t.Fatalf("submit %d got ID %d", i, o.ID)
+		}
+	}
+	orders := e.Orders()
+	if len(orders) != n {
+		t.Fatalf("Orders() len = %d", len(orders))
+	}
+	for i, o := range orders {
+		if o.ID != i {
+			t.Fatalf("Orders()[%d].ID = %d", i, o.ID)
+		}
+	}
+	for i := 0; i < n; i++ {
+		o, err := e.Order(i)
+		if err != nil || o.ID != i {
+			t.Fatalf("Order(%d) = %+v, %v", i, o, err)
+		}
+	}
+	if _, err := e.Order(n); err == nil {
+		t.Error("lookup past the book succeeded")
+	}
+	if _, err := e.Order(-1); err == nil {
+		t.Error("negative ID lookup succeeded")
+	}
+	if got := e.OpenOrderCount(); got != n {
+		t.Fatalf("OpenOrderCount = %d, want %d", got, n)
+	}
+	// Cancel one order per stripe; the counters must track exactly.
+	for i := 0; i < 4; i++ {
+		if err := e.Cancel(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.OpenOrderCount(); got != n-4 {
+		t.Fatalf("OpenOrderCount after cancels = %d, want %d", got, n-4)
+	}
+	if got := len(e.OpenOrders()); got != n-4 {
+		t.Fatalf("OpenOrders after cancels = %d, want %d", got, n-4)
+	}
+}
+
+// TestTailAccessors pins the bounded read paths: OrdersTail, LedgerTail,
+// and HistoryTail return the most recent entries in order, and degenerate
+// limits behave.
+func TestTailAccessors(t *testing.T) {
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e6, Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.OpenAccount("a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tail := e.OrdersTail(3)
+	if len(tail) != 3 || tail[0].ID != 7 || tail[1].ID != 8 || tail[2].ID != 9 {
+		ids := make([]int, len(tail))
+		for i, o := range tail {
+			ids[i] = o.ID
+		}
+		t.Fatalf("OrdersTail(3) IDs = %v, want [7 8 9]", ids)
+	}
+	if got := e.OrdersTail(100); len(got) != 10 {
+		t.Fatalf("OrdersTail(100) len = %d", len(got))
+	}
+	if e.OrdersTail(0) != nil || e.OrdersTail(-1) != nil {
+		t.Error("non-positive OrdersTail limit returned entries")
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := e.RunAuction(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.SubmitProduct("a", "batch-compute", 1, []string{"r2"}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.HistoryTail(2); len(got) != 2 || got[0].Number != 2 || got[1].Number != 3 {
+		t.Fatalf("HistoryTail(2) = %+v", got)
+	}
+	full := e.Ledger()
+	if len(full) == 0 {
+		t.Fatal("no ledger entries")
+	}
+	lt := e.LedgerTail(2)
+	if len(lt) != 2 || lt[1].Seq != full[len(full)-1].Seq || lt[0].Seq != full[len(full)-2].Seq {
+		t.Fatalf("LedgerTail(2) = %+v, full tail = %+v", lt, full[len(full)-2:])
+	}
+	if e.HistoryTail(0) != nil || e.LedgerTail(0) != nil {
+		t.Error("non-positive tail limit returned entries")
+	}
+}
+
+// TestShardsDefaultApplied pins the default stripe count.
+func TestShardsDefaultApplied(t *testing.T) {
+	e := newTestExchange(t)
+	if e.Shards() != DefaultShards {
+		t.Fatalf("default Shards = %d, want %d", e.Shards(), DefaultShards)
+	}
+}
+
+// TestOrdersSortedAcrossShards pins the cross-stripe merge: a book spread
+// over many stripes still reads back in global ID order after a mix of
+// settlements and new submissions.
+func TestOrdersSortedAcrossShards(t *testing.T) {
+	e, err := NewExchange(testFleet(t), Config{InitialBudget: 1e9, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := e.OpenAccount(fmt.Sprintf("team%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 7; i++ {
+			team := fmt.Sprintf("team%d", i%3)
+			if _, err := e.SubmitProduct(team, "batch-compute", 1, []string{"r2"}, 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := e.RunAuction(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prev := -1
+	for _, o := range e.Orders() {
+		if o.ID <= prev {
+			t.Fatalf("Orders() out of ID order: %d after %d", o.ID, prev)
+		}
+		prev = o.ID
+	}
+}

@@ -21,37 +21,44 @@ type ClusterSummary struct {
 // Prices come from the most recent auction, falling back to current
 // reserve prices before the first auction.
 func (e *Exchange) Summary() ([]ClusterSummary, error) {
-	// Snapshot book state under one read lock, then price and render
-	// without holding it.
-	e.mu.RLock()
-	prices := e.lastClearingPricesLocked()
-	// Count open interest per cluster.
+	prices := e.lastClearingPrices()
+	// Count open interest per cluster, stripe by stripe. Bids are frozen
+	// at submit time, so reading bundles under the stripe's read lock is
+	// safe.
 	bidCount := make(map[string]int)
 	offerCount := make(map[string]int)
-	for _, o := range e.openOrdersLocked() {
-		side := o.Side()
-		touched := make(map[string]bool)
-		for _, b := range o.Bid.Bundles {
-			for i, q := range b {
-				if q == 0 {
-					continue
+	touched := make(map[string]bool)
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		for _, o := range os.open {
+			if o.Status != Open {
+				continue
+			}
+			side := o.Side()
+			clear(touched)
+			for _, b := range o.Bid.Bundles {
+				for i, q := range b {
+					if q == 0 {
+						continue
+					}
+					touched[e.reg.Pool(i).Cluster] = true
 				}
-				touched[e.reg.Pool(i).Cluster] = true
+			}
+			for c := range touched {
+				switch {
+				case side > 0:
+					bidCount[c]++
+				case side < 0:
+					offerCount[c]++
+				default:
+					bidCount[c]++
+					offerCount[c]++
+				}
 			}
 		}
-		for c := range touched {
-			switch {
-			case side > 0:
-				bidCount[c]++
-			case side < 0:
-				offerCount[c]++
-			default:
-				bidCount[c]++
-				offerCount[c]++
-			}
-		}
+		os.mu.RUnlock()
 	}
-	e.mu.RUnlock()
 
 	if prices == nil {
 		var err error
@@ -86,14 +93,41 @@ func (e *Exchange) PriceHistory(pool resource.Pool) []float64 {
 	if !ok {
 		return nil
 	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.histMu.RLock()
+	defer e.histMu.RUnlock()
 	out := make([]float64, 0, len(e.history))
 	for _, rec := range e.history {
 		if !rec.Converged {
 			continue
 		}
 		out = append(out, rec.Prices[i])
+	}
+	return out
+}
+
+// PriceHistoryTail is the bounded form of PriceHistory for display
+// pollers: the pool's most recent `limit` clearing prices, oldest
+// first. It scans the history backwards and stops at the bound, so a
+// poll of a long-lived market costs O(limit), not O(total auctions). A
+// non-positive limit or an unknown pool returns nil.
+func (e *Exchange) PriceHistoryTail(pool resource.Pool, limit int) []float64 {
+	if limit <= 0 {
+		return nil
+	}
+	i, ok := e.reg.Index(pool)
+	if !ok {
+		return nil
+	}
+	e.histMu.RLock()
+	out := make([]float64, 0, limit)
+	for j := len(e.history) - 1; j >= 0 && len(out) < limit; j-- {
+		if rec := e.history[j]; rec.Converged {
+			out = append(out, rec.Prices[i])
+		}
+	}
+	e.histMu.RUnlock()
+	for a, b := 0, len(out)-1; a < b; a, b = a+1, b-1 {
+		out[a], out[b] = out[b], out[a]
 	}
 	return out
 }

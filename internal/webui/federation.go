@@ -129,7 +129,7 @@ func (s *FedServer) handleGlobal(w http.ResponseWriter, r *http.Request) {
 		}
 		view.Regions = append(view.Regions, row)
 	}
-	for _, fo := range s.fed.Orders() {
+	for _, fo := range s.fed.OrdersTail(defaultOrdersLimit) {
 		view.Orders = append(view.Orders, fedOrderRow{
 			ID: fo.ID, Team: fo.Team, Product: fo.Product,
 			Qty: fo.Qty, Limit: fo.Limit,

@@ -103,7 +103,36 @@ func NewWithPrefix(ex *market.Exchange, prefix string) *Server {
 	s.mux.HandleFunc("/api/prices.json", s.handlePricesJSON)
 	s.mux.HandleFunc("/api/history.json", s.handleHistoryJSON)
 	s.mux.HandleFunc("/api/auctions.json", s.handleAuctionsJSON)
+	s.mux.HandleFunc("/api/orders.json", s.handleOrdersJSON)
 	return s
+}
+
+// Poll endpoints are bounded by default: browser tabs re-fetch them on a
+// timer, and cloning an ever-growing book or history per poll turns a
+// long-lived market into a quadratic copy loop. ?limit=N overrides
+// (capped at maxPollLimit); the unbounded dumps stay available through
+// the Exchange API for tests and batch consumers.
+const (
+	defaultOrdersLimit   = 100
+	defaultAuctionsLimit = 200
+	maxPollLimit         = 10000
+)
+
+// pollLimit parses the request's limit parameter, falling back to def
+// and clamping to [1, maxPollLimit]. ok is false on a malformed value.
+func pollLimit(r *http.Request, def int) (limit int, ok bool) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	if n > maxPollLimit {
+		n = maxPollLimit
+	}
+	return n, true
 }
 
 // ServeHTTP implements http.Handler.
@@ -135,7 +164,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		Rows       []summaryRow
 	}{
 		Prefix:     s.prefix,
-		Auctions:   len(s.ex.History()),
+		Auctions:   s.ex.AuctionCount(),
 		OpenOrders: s.ex.OpenOrderCount(),
 	}
 	for _, row := range rows {
@@ -146,12 +175,18 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		case row.Utilization.CPU <= 0.35:
 			sr.Class = "cold"
 		}
-		hist := s.ex.PriceHistory(resource.Pool{Cluster: row.Cluster, Dim: resource.CPU})
+		hist := s.ex.PriceHistoryTail(resource.Pool{Cluster: row.Cluster, Dim: resource.CPU}, sparklineWindow)
 		sr.Spark = sparkline(hist)
 		view.Rows = append(view.Rows, sr)
 	}
 	render(w, s.summary, view)
 }
+
+// sparklineWindow bounds the price points behind each summary-page
+// sparkline: the glyph row is only this wide anyway, and an unbounded
+// PriceHistory walk would make the landing page O(total auctions) per
+// poll in a long-lived market.
+const sparklineWindow = 48
 
 // sparkline renders values as unicode block characters.
 func sparkline(xs []float64) string {
@@ -301,10 +336,15 @@ func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOrders(w http.ResponseWriter, r *http.Request) {
+	limit, ok := pollLimit(r, defaultOrdersLimit)
+	if !ok {
+		http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+		return
+	}
 	view := struct {
 		Prefix string
 		Orders []*market.Order
-	}{Prefix: s.prefix, Orders: s.ex.Orders()}
+	}{Prefix: s.prefix, Orders: s.ex.OrdersTail(limit)}
 	render(w, s.orders, view)
 }
 
@@ -411,7 +451,12 @@ func (s *Server) handleHistoryJSON(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	hist := s.ex.PriceHistory(resource.Pool{Cluster: clusterName, Dim: dim})
+	limit, ok := pollLimit(r, defaultAuctionsLimit)
+	if !ok {
+		http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	hist := s.ex.PriceHistoryTail(resource.Pool{Cluster: clusterName, Dim: dim}, limit)
 	if hist == nil {
 		http.Error(w, "unknown pool", http.StatusNotFound)
 		return
@@ -441,9 +486,15 @@ type auctionView struct {
 }
 
 // handleAuctionsJSON returns the settled auction history with the
-// Table I premium statistics per auction.
+// Table I premium statistics per auction — the most recent records,
+// bounded by ?limit=N (default defaultAuctionsLimit).
 func (s *Server) handleAuctionsJSON(w http.ResponseWriter, r *http.Request) {
-	hist := s.ex.History()
+	limit, ok := pollLimit(r, defaultAuctionsLimit)
+	if !ok {
+		http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	hist := s.ex.HistoryTail(limit)
 	out := make([]auctionView, 0, len(hist))
 	for _, rec := range hist {
 		out = append(out, auctionView{
@@ -454,6 +505,44 @@ func (s *Server) handleAuctionsJSON(w http.ResponseWriter, r *http.Request) {
 			Settled:       rec.Settled,
 			PremiumMedian: rec.PremiumMedian(),
 			PremiumMean:   rec.PremiumMean(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// orderView is the wire form of one order on the polling API.
+type orderView struct {
+	ID      int     `json:"id"`
+	Team    string  `json:"team"`
+	User    string  `json:"user"`
+	Status  string  `json:"status"`
+	Auction int     `json:"auction"`
+	Payment float64 `json:"payment"`
+	Limit   float64 `json:"limit"`
+}
+
+// handleOrdersJSON returns the most recent orders (highest IDs first
+// submitted last), bounded by ?limit=N with a small default — the
+// polling front end only renders a page of rows, so cloning the whole
+// book per poll was pure waste. The unbounded dump remains available via
+// Exchange.Orders for tests and batch export.
+func (s *Server) handleOrdersJSON(w http.ResponseWriter, r *http.Request) {
+	limit, ok := pollLimit(r, defaultOrdersLimit)
+	if !ok {
+		http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	orders := s.ex.OrdersTail(limit)
+	out := make([]orderView, 0, len(orders))
+	for _, o := range orders {
+		out = append(out, orderView{
+			ID:      o.ID,
+			Team:    o.Team,
+			User:    o.Bid.User,
+			Status:  o.Status.String(),
+			Auction: o.Auction,
+			Payment: o.Payment,
+			Limit:   o.Bid.MaxLimit(),
 		})
 	}
 	writeJSON(w, out)

@@ -514,3 +514,72 @@ func TestPricesJSONNonConverged(t *testing.T) {
 		t.Errorf("prices = %d entries, want %d", len(pv.Prices), ex.Registry().Len())
 	}
 }
+
+// TestOrdersJSONBounded pins the bounded polling endpoint: it returns
+// the most recent orders, honors ?limit=N, defaults to a bound instead
+// of cloning the whole book, and rejects malformed limits.
+func TestOrdersJSONBounded(t *testing.T) {
+	s, ex := newTestServer(t)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	for i := 0; i < 5; i++ {
+		if _, err := ex.SubmitProduct("web-team", "batch-compute", 1, []string{"r2"}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	code, body := get(t, ts, "/api/orders.json")
+	if code != http.StatusOK {
+		t.Fatalf("orders.json = %d", code)
+	}
+	var views []struct {
+		ID     int    `json:"id"`
+		Team   string `json:"team"`
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(views) != 5 || views[0].ID != 0 || views[4].ID != 4 {
+		t.Fatalf("views = %+v", views)
+	}
+	if views[0].Team != "web-team" || views[0].Status != "open" {
+		t.Fatalf("views[0] = %+v", views[0])
+	}
+
+	// limit trims to the most recent orders.
+	code, body = get(t, ts, "/api/orders.json?limit=2")
+	if code != http.StatusOK {
+		t.Fatalf("limited orders.json = %d", code)
+	}
+	views = views[:0]
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0].ID != 3 || views[1].ID != 4 {
+		t.Fatalf("limited views = %+v", views)
+	}
+
+	for _, bad := range []string{"0", "-3", "zap"} {
+		if code, _ := get(t, ts, "/api/orders.json?limit="+bad); code != http.StatusBadRequest {
+			t.Errorf("limit=%s accepted with %d", bad, code)
+		}
+	}
+	if code, _ := get(t, ts, "/orders?limit=bogus"); code != http.StatusBadRequest {
+		t.Error("orders page accepted a bogus limit")
+	}
+	// The HTML page honors the bound too.
+	code, body = get(t, ts, "/orders?limit=1")
+	if code != http.StatusOK || strings.Count(body, "web-team/batch-compute") != 1 {
+		t.Fatalf("orders page limit: %d\n%s", code, body)
+	}
+
+	// auctions.json keeps working with an explicit bound.
+	if _, _, err := ex.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, ts, "/api/auctions.json?limit=1")
+	if code != http.StatusOK || !strings.Contains(body, `"number":1`) {
+		t.Fatalf("auctions.json limit: %d\n%s", code, body)
+	}
+}
