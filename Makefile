@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-compare
+.PHONY: all build test race vet bench bench-baseline bench-compare \
+	soak soak-race cover cover-update fuzz bench-ci
 
 all: vet build test
 
@@ -39,3 +40,39 @@ BENCH_NEW ?= BENCH_pr4.json
 BENCH_FAIL_OVER ?= 0
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)
+
+# Regression gate for CI: record a fresh single-pass baseline on the CI
+# machine and compare it against the last committed baseline with a
+# tolerant threshold. Single-iteration timings swing wildly, so only a
+# blowup (accidental quadratic, lost fast path) trips the gate — real
+# perf work still uses bench-baseline on quiet hardware.
+BENCH_GATE_BASE ?= BENCH_pr4.json
+BENCH_GATE_OVER ?= 400
+bench-ci:
+	$(MAKE) bench-baseline BENCH_OUT=BENCH_ci.json
+	$(GO) run ./cmd/benchdiff -old $(BENCH_GATE_BASE) -new BENCH_ci.json -fail-over $(BENCH_GATE_OVER)
+
+# Scenario soak: every catalog scenario on both backends, with the
+# shared invariant kernel checked after every epoch. Exit code 2 means
+# an invariant broke. soak-race runs the same under the race detector —
+# the CI smoke configuration.
+SOAK_FLAGS ?= -scenario all -backend both -seed 42
+soak:
+	$(GO) run ./cmd/marketsim $(SOAK_FLAGS)
+soak-race:
+	$(GO) run -race ./cmd/marketsim $(SOAK_FLAGS) -epochs 6
+
+# Coverage with a checked-in floor (COVERAGE_FLOOR) and per-package
+# deltas against COVERAGE_baseline.txt. cover-update rewrites the
+# baseline after intentional changes.
+cover:
+	./scripts/cover.sh
+cover-update:
+	./scripts/cover.sh -update
+
+# Native fuzz smoke: each target briefly, as in CI. Longer local runs:
+# go test -fuzz FuzzParse ./internal/bidlang
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run 'xxx' ./internal/bidlang
+	$(GO) test -fuzz FuzzQueryParams -fuzztime $(FUZZTIME) -run 'xxx' ./internal/webui

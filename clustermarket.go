@@ -36,10 +36,12 @@ import (
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
+	"clustermarket/internal/invariant"
 	"clustermarket/internal/market"
 	"clustermarket/internal/optimize"
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/resource"
+	"clustermarket/internal/scenario"
 	"clustermarket/internal/webui"
 )
 
@@ -294,6 +296,54 @@ func EvaluateWelfare(bids []*Bid, allocations []Vector, reserve Vector, obj Obje
 // optimized outcome violates at the given uniform prices.
 func UnfairnessReport(bids []*Bid, res *OptimizedResult, prices Vector) int {
 	return optimize.UnfairnessReport(bids, res, prices)
+}
+
+// Scenario engine & invariant kernel (beyond the paper; DESIGN.md).
+
+type (
+	// ScenarioConfig parameterizes a scenario run (seed, topology, epochs).
+	ScenarioConfig = scenario.Config
+	// ScenarioReport is a completed run: per-epoch summaries plus any
+	// invariant violations; Fingerprint() is bit-stable per seed.
+	ScenarioReport = scenario.Report
+	// MarketScenario is one scripted multi-epoch event timeline.
+	MarketScenario = scenario.Scenario
+	// MarketBackend abstracts the market under test (single exchange or
+	// federation) behind one topology.
+	MarketBackend = scenario.Backend
+	// InvariantViolation is one broken market invariant.
+	InvariantViolation = invariant.Violation
+)
+
+// Scenarios returns the named scenario catalog (diurnal, flash-crowd,
+// churn, region-outage, adaptive-learning, trader-storm).
+func Scenarios() []*MarketScenario { return scenario.Catalog() }
+
+// LookupScenario returns one catalog scenario by name.
+func LookupScenario(name string) (*MarketScenario, error) { return scenario.Lookup(name) }
+
+// NewScenarioBackend builds the "exchange" or "federation" backend for
+// the config. Use the same config with RunScenario.
+func NewScenarioBackend(kind string, cfg ScenarioConfig) (MarketBackend, error) {
+	return scenario.NewBackend(kind, cfg)
+}
+
+// RunScenario drives a backend through a scenario: seed-reproducible
+// epochs, with the shared invariant kernel checked after every one.
+func RunScenario(sc *MarketScenario, b MarketBackend, cfg ScenarioConfig) (*ScenarioReport, error) {
+	return scenario.Run(sc, b, cfg)
+}
+
+// CheckMarketInvariants runs the shared invariant kernel over a
+// quiescent exchange: balanced double-entry ledger, non-negative
+// balances, commitments matching open exposure, per-auction wins within
+// capacity, clearing prices at or above reserve, consistent counters.
+func CheckMarketInvariants(ex *Exchange) []InvariantViolation { return invariant.CheckExchange(ex) }
+
+// CheckFederationInvariants runs the kernel over every region plus the
+// cross-region XOR routing invariants.
+func CheckFederationInvariants(f *Federation) []InvariantViolation {
+	return invariant.CheckFederation(f)
 }
 
 // Bidding language (Section II).

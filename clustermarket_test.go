@@ -125,3 +125,50 @@ bid "b" limit -2 { r1/ram:-3 }`)
 		t.Error("String() round trip broken")
 	}
 }
+
+func TestFacadeScenarioEngine(t *testing.T) {
+	if len(cm.Scenarios()) < 5 {
+		t.Fatalf("catalog = %d scenarios", len(cm.Scenarios()))
+	}
+	sc, err := cm.LookupScenario("adaptive-learning")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cm.ScenarioConfig{Seed: 5, Epochs: 3}
+	b, err := cm.NewScenarioBackend("federation", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cm.RunScenario(sc, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 3 {
+		t.Fatalf("epochs = %d", len(rep.Epochs))
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Fingerprint() == "" {
+		t.Fatal("empty fingerprint")
+	}
+}
+
+func TestFacadeInvariantKernel(t *testing.T) {
+	fleet := cm.NewFleet()
+	c := cm.NewCluster("r1", nil)
+	c.AddMachines(4, cm.Usage{CPU: 32, RAM: 128, Disk: 20})
+	if err := fleet.AddCluster(c); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := cm.NewExchange(fleet, cm.ExchangeConfig{InitialBudget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.OpenAccount("team"); err != nil {
+		t.Fatal(err)
+	}
+	if vs := cm.CheckMarketInvariants(ex); len(vs) != 0 {
+		t.Fatalf("fresh exchange violates invariants: %v", vs)
+	}
+}

@@ -1,0 +1,121 @@
+// Command marketsim soaks the market through the scenario catalog: a
+// deterministic, seed-reproducible multi-epoch run of one (or every)
+// named scenario against the single-exchange and/or federated backend,
+// with the shared invariant kernel checked after every epoch.
+//
+//	marketsim -scenario all -backend both -seed 42 -epochs 10 -regions 3
+//
+// Exit codes:
+//
+//	0 — every run completed with every invariant intact
+//	1 — usage error or engine failure
+//	2 — an invariant was violated (the soak's reason to exist)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"clustermarket/internal/scenario"
+)
+
+const (
+	exitOK        = 0
+	exitUsage     = 1
+	exitInvariant = 2
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("marketsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("scenario", "all",
+		"scenario to run: one of "+strings.Join(scenario.Names(), ", ")+", or 'all'")
+	backend := fs.String("backend", "both", "market backend: exchange, federation, or both")
+	seed := fs.Int64("seed", 42, "seed; same seed, scenario, and backend reproduce the run bit-identically")
+	epochs := fs.Int("epochs", 0, "epochs per run (0 uses each scenario's default)")
+	regions := fs.Int("regions", 0, "regions in the world (0 uses the default)")
+	teams := fs.Int("teams", 0, "bidder population size (0 uses the default)")
+	verbose := fs.Bool("v", false, "print the per-epoch table for every run")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	var scenarios []*scenario.Scenario
+	if *name == "all" {
+		scenarios = scenario.Catalog()
+	} else {
+		sc, err := scenario.Lookup(*name)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return exitUsage
+		}
+		scenarios = []*scenario.Scenario{sc}
+	}
+	var kinds []string
+	switch *backend {
+	case "both":
+		kinds = []string{"exchange", "federation"}
+	case "exchange", "federation":
+		kinds = []string{*backend}
+	default:
+		fmt.Fprintf(stderr, "marketsim: unknown backend %q (want exchange, federation, or both)\n", *backend)
+		return exitUsage
+	}
+
+	cfg := scenario.Config{Seed: *seed, Epochs: *epochs, Regions: *regions, Teams: *teams}
+	violations := 0
+	for _, sc := range scenarios {
+		for _, kind := range kinds {
+			b, err := scenario.NewBackend(kind, cfg)
+			if err != nil {
+				fmt.Fprintf(stderr, "marketsim: %s/%s: %v\n", sc.Name, kind, err)
+				return exitUsage
+			}
+			rep, err := scenario.Run(sc, b, cfg)
+			if err != nil {
+				fmt.Fprintf(stderr, "marketsim: %s/%s: %v\n", sc.Name, kind, err)
+				return exitUsage
+			}
+			printReport(stdout, rep, *verbose)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(stderr, "marketsim: INVARIANT VIOLATED: %s/%s: %s\n", sc.Name, kind, v)
+			}
+			violations += len(rep.Violations)
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(stderr, "marketsim: %d invariant violation(s)\n", violations)
+		return exitInvariant
+	}
+	return exitOK
+}
+
+func printReport(w *os.File, rep *scenario.Report, verbose bool) {
+	var sub, auc, conv, settled, unsettled int
+	for _, s := range rep.Epochs {
+		sub += s.Submitted
+		auc += s.Auctions
+		conv += s.Converged
+		settled += s.Settled
+		unsettled += s.Unsettled
+	}
+	fmt.Fprintf(w, "%-18s %-10s seed=%-6d epochs=%-3d orders=%-5d auctions=%d/%d converged settled=%-5d unsettled=%-3d fingerprint=%s\n",
+		rep.Scenario, rep.Backend, rep.Seed, len(rep.Epochs), sub, conv, auc, settled, unsettled, rep.Fingerprint()[:16])
+	if !verbose {
+		return
+	}
+	tw := tabwriter.NewWriter(w, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "  epoch\tteams\tsubmitted\trejected\tstorm\tauctions\tconverged\tsettled\tmedian-premium\topen\tdark\tviolations")
+	for _, s := range rep.Epochs {
+		fmt.Fprintf(tw, "  %d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%d\t%s\t%d\n",
+			s.Epoch, s.Teams, s.Submitted, s.Rejected, s.StormBids,
+			s.Auctions, s.Converged, s.Settled, s.MedianPremium,
+			s.OpenOrders, strings.Join(s.Dark, ","), s.Violations)
+	}
+	tw.Flush()
+}

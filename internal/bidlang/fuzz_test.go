@@ -1,0 +1,100 @@
+package bidlang
+
+import (
+	"strconv"
+	"testing"
+
+	"clustermarket/internal/resource"
+)
+
+// FuzzParse throws arbitrary source at the bid parser and checks three
+// properties on every input:
+//
+//  1. the parser never panics (the harness enforces this for free);
+//  2. an accepted bid flattens over its own pools without panicking and
+//     within the MaxBundles combinatorial bound;
+//  3. the canonical rendering (Bid.String) of an accepted bid re-parses
+//     to the same canonical form — Parse ∘ String is a fixed point —
+//     whenever the user name survives %q quoting verbatim (names with
+//     escapes render as Go escape sequences the deliberately tiny lexer
+//     does not interpret).
+//
+// Property 3 found a real bug during development: leaf quantities large
+// enough to render in scientific notation ("r1/cpu:1e+20") did not lex
+// back, because '+' only continued number tokens, not word tokens. See
+// TestLexerAcceptsExponentQuantities for the pinned regression.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`bid "team-storage" limit 120.5 {
+  oneof {
+    all { r1/cpu:40 r1/ram:96 r1/disk:10 }
+    all { r2/cpu:40 r2/ram:96 r2/disk:10 }
+  }
+}`,
+		`bid "seller" limit -50 { r1/cpu:-100 }`,
+		`bid "trader" limit 0.5 { all { r1/cpu:-10 r2/cpu:10 } }`,
+		`bid "a" limit 1 { r1/cpu:1 } bid "b" limit 2 { r2/ram:3 }`,
+		`# comment
+bid "c" limit 3e2 { oneof { r1/cpu:2 r1/cpu:4 } }`,
+		`bid "deep" limit 9 { oneof { all { oneof { r1/cpu:1 r2/cpu:1 } r1/ram:4 } r3/disk:2 } }`,
+		`bid "big" limit 5 { r1/cpu:100000000000000000000 }`,
+		`bid "tiny" limit 5 { r1/cpu:0.00000000000000001 }`,
+		`bid "" limit 1 { r1/cpu:1 }`,
+		`bid "x" limit { }`,
+		`bid "x" limit 1 { unknown/pool:1 }`,
+		"bid \"y\" limit 1 {\r\n r1/cpu:1 }",
+		`{}}}{{ bid bid limit`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		bids, err := ParseAll(src)
+		if err != nil {
+			return
+		}
+		for _, b := range bids {
+			// Property 2: flattening is total and bounded.
+			pools := b.Pools()
+			if n := len(pools); n > 0 && n <= 64 {
+				reg := resource.NewRegistry(pools...)
+				if vecs, err := b.Flatten(reg); err == nil && len(vecs) > MaxBundles {
+					t.Fatalf("flatten produced %d bundles, bound is %d", len(vecs), MaxBundles)
+				}
+			}
+			// Property 3: canonical rendering is a parse fixed point.
+			if strconv.Quote(b.User) != `"`+b.User+`"` {
+				continue
+			}
+			canon := b.String()
+			again, err := Parse(canon)
+			if err != nil {
+				t.Fatalf("canonical rendering failed to re-parse: %v\n%s", err, canon)
+			}
+			if got := again.String(); got != canon {
+				t.Fatalf("canonical rendering is not a fixed point:\nfirst:\n%s\nsecond:\n%s", canon, got)
+			}
+		}
+	})
+}
+
+// TestLexerAcceptsExponentQuantities pins the FuzzParse discovery: a
+// quantity that renders in scientific notation must survive the
+// String → Parse round trip.
+func TestLexerAcceptsExponentQuantities(t *testing.T) {
+	for _, qty := range []string{"100000000000000000000", "1e+20", "2.5e-17"} {
+		src := `bid "big" limit 5 { r1/cpu:` + qty + ` }`
+		b, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		canon := b.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q failed to re-parse: %v", canon, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("round trip diverged: %q vs %q", again.String(), canon)
+		}
+	}
+}

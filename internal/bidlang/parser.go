@@ -113,8 +113,14 @@ func lex(src string) ([]token, error) {
 			i = j
 		case unicode.IsLetter(rune(c)) || c == '_':
 			j := i + 1
+			// '+' continues the word only as an exponent sign (e+/E+), the
+			// same rule the number lexer uses: leaf quantities rendered in
+			// scientific notation ("r1/cpu:1e+20") must lex back as one
+			// token, or Bid.String output would not round-trip through
+			// Parse.
 			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) ||
-				src[j] == '_' || src[j] == '-' || src[j] == '/' || src[j] == ':' || src[j] == '.') {
+				src[j] == '_' || src[j] == '-' || src[j] == '/' || src[j] == ':' || src[j] == '.' ||
+				(src[j] == '+' && (src[j-1] == 'e' || src[j-1] == 'E'))) {
 				j++
 			}
 			toks = append(toks, token{tokWord, src[i:j], line})

@@ -132,6 +132,63 @@ func (f *Fleet) ScheduleTask(team, clusterName string, req Usage) (string, error
 	return id, nil
 }
 
+// PlaceAllocationChunked schedules the positive part of a settled
+// allocation onto the fleet as machine-sized chunks — the placement
+// model every market driver shares (sim worlds, federated migration,
+// the scenario engine). Clusters are visited in sorted name order so
+// placement, and therefore future utilization and reserve prices, is a
+// deterministic function of the allocation. onPlace, when non-nil, is
+// invoked for every scheduled task (so callers can evict later);
+// scheduling stops per cluster at the first failure (the cluster is
+// genuinely full).
+func (f *Fleet) PlaceAllocationChunked(reg *resource.Registry, team string, alloc resource.Vector, onPlace func(clusterName, taskID string)) {
+	perCluster := make(map[string]Usage)
+	for i, q := range alloc {
+		if q <= 0 {
+			continue
+		}
+		p := reg.Pool(i)
+		u := perCluster[p.Cluster]
+		perCluster[p.Cluster] = u.Set(p.Dim, u.Get(p.Dim)+q)
+	}
+	names := make([]string, 0, len(perCluster))
+	for cn := range perCluster {
+		names = append(names, cn)
+	}
+	sort.Strings(names)
+	chunk := Usage{CPU: 8, RAM: 32, Disk: 5}
+	clamp := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	}
+	for _, cn := range names {
+		total := perCluster[cn]
+		for i := 0; i < 10000 && !total.IsZero(); i++ {
+			req := total
+			if req.CPU > chunk.CPU {
+				req.CPU = chunk.CPU
+			}
+			if req.RAM > chunk.RAM {
+				req.RAM = chunk.RAM
+			}
+			if req.Disk > chunk.Disk {
+				req.Disk = chunk.Disk
+			}
+			id, err := f.ScheduleTask(team, cn, req)
+			if err != nil {
+				break
+			}
+			if onPlace != nil {
+				onPlace(cn, id)
+			}
+			total = total.Sub(req)
+			total = Usage{CPU: clamp(total.CPU), RAM: clamp(total.RAM), Disk: clamp(total.Disk)}
+		}
+	}
+}
+
 // FillToUtilization packs synthetic background tasks into the cluster
 // until every dimension reaches at least the target fraction (or no task
 // fits). It is how experiments establish the skewed pre-auction loads the

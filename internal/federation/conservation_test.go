@@ -1,31 +1,27 @@
-package federation
+// Conservation tests live in the external test package so they can
+// consume the shared invariant kernel (internal/invariant imports
+// federation; an in-package test would be an import cycle).
+package federation_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
-	"clustermarket/internal/market"
-	"clustermarket/internal/resource"
+	"clustermarket/internal/federation"
+	"clustermarket/internal/invariant"
 )
 
-func poolOf(cluster string) resource.Pool {
-	return resource.Pool{Cluster: cluster, Dim: resource.CPU}
-}
-
 // TestFederatedLedgerConservation drives a randomized multi-epoch
-// federated market and asserts, after every settlement wave, the
-// invariants the market's books must never violate:
-//
-//   - every region's double-entry ledger sums to zero;
-//   - no team balance goes negative in any region;
-//   - per auction, the quota won in a region never exceeds that region's
-//     capacity in any pool;
-//   - no federated order wins more than one leg.
+// federated market and runs the shared invariant kernel after every
+// settlement wave: every region's books pass the full exchange-level
+// kernel, XOR legs win at most once, and winning legs agree with the
+// regional book that settled them.
 func TestFederatedLedgerConservation(t *testing.T) {
-	f, err := NewFederation(
-		testRegion(t, "hot", 2, 0.8),
-		testRegion(t, "warm", 2, 0.5),
-		testRegion(t, "cold", 2, 0.1),
+	f, err := federation.NewFederation(
+		federation.TestingRegion(t, "hot", 2, 0.8),
+		federation.TestingRegion(t, "warm", 2, 0.5),
+		federation.TestingRegion(t, "cold", 2, 0.1),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -63,75 +59,6 @@ func TestFederatedLedgerConservation(t *testing.T) {
 				t.Fatalf("epoch %d region %s: %v", epoch, tk.Region, tk.Err)
 			}
 		}
-		assertConserved(t, f, epoch)
-	}
-}
-
-// assertConserved checks the conservation invariants across every region
-// after a settlement wave.
-func assertConserved(t *testing.T, f *Federation, epoch int) {
-	t.Helper()
-	if !f.LedgerBalanced(1e-6) {
-		t.Fatalf("epoch %d: federated ledger unbalanced", epoch)
-	}
-	for _, r := range f.Regions() {
-		ex := r.Exchange()
-		for _, team := range ex.Teams() {
-			bal, err := ex.Balance(team)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if bal < -1e-6 {
-				t.Fatalf("epoch %d: %s/%s balance %g < 0", epoch, r.Name(), team, bal)
-			}
-		}
-		assertWonWithinCapacity(t, ex, r.Name(), epoch)
-	}
-	for _, fo := range f.Orders() {
-		won := 0
-		for _, l := range fo.Legs {
-			if l.Status == market.Won {
-				won++
-			}
-		}
-		if won > 1 {
-			t.Fatalf("epoch %d: order %d won %d legs", epoch, fo.ID, won)
-		}
-		if fo.Status == market.Won && won != 1 {
-			t.Fatalf("epoch %d: order %d won with %d winning legs", epoch, fo.ID, won)
-		}
-	}
-}
-
-// assertWonWithinCapacity verifies that, for every settled auction, the
-// total quantity won per pool stays within the region's capacity — the
-// operator can only sell capacity the region physically has.
-func assertWonWithinCapacity(t *testing.T, ex *market.Exchange, region string, epoch int) {
-	t.Helper()
-	reg := ex.Registry()
-	cap := ex.Fleet().CapacityVector(reg)
-	wonPerAuction := make(map[int]resource.Vector)
-	for _, o := range ex.Orders() {
-		if o.Status != market.Won {
-			continue
-		}
-		v, ok := wonPerAuction[o.Auction]
-		if !ok {
-			v = reg.Zero()
-			wonPerAuction[o.Auction] = v
-		}
-		for i, q := range o.Allocation {
-			if q > 0 {
-				v[i] += q
-			}
-		}
-	}
-	for auction, won := range wonPerAuction {
-		for i, q := range won {
-			if q > cap[i]+1e-6 {
-				t.Fatalf("epoch %d: region %s auction %d won %g of %s, capacity %g",
-					epoch, region, auction, q, reg.Pool(i), cap[i])
-			}
-		}
+		invariant.RequireFederation(t, fmt.Sprintf("epoch %d", epoch), f)
 	}
 }

@@ -1,0 +1,11 @@
+package federation
+
+import "testing"
+
+// TestingRegion exposes the in-package testRegion helper to the external
+// federation_test package (the conservation tests, which live outside
+// the package to consume the invariant kernel without an import cycle).
+// Region test topology lives in exactly one place.
+func TestingRegion(t testing.TB, name string, clusters int, util float64) *Region {
+	return testRegion(t, name, clusters, util)
+}

@@ -344,7 +344,12 @@ func (f *Federation) submitNextLegLocked(fo *FedOrder) error {
 // advanceRegion reconciles routing state after the named region settled
 // an auction: winning legs conclude their orders, losing legs fail over
 // to the next-cheapest region. Only orders whose active leg is in the
-// region are visited, via the open-order index.
+// region are visited, via the open-order index — in ascending order ID,
+// not map order: failover submissions book orders into the next region's
+// book, so the visit order decides both the IDs those legs get and which
+// legs a near-exhausted budget can still cover. Sorting makes a
+// settlement wave a deterministic function of the routing state, which
+// the scenario engine's seed-reproducibility contract depends on.
 func (f *Federation) advanceRegion(name string) {
 	r, ok := f.byName[name]
 	if !ok {
@@ -352,7 +357,13 @@ func (f *Federation) advanceRegion(name string) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for id, fo := range f.open[name] {
+	ids := make([]int, 0, len(f.open[name]))
+	for id := range f.open[name] {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fo := f.open[name][id]
 		if fo.Status != market.Open || fo.Active < 0 {
 			delete(f.open[name], id)
 			continue

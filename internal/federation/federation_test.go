@@ -10,7 +10,12 @@ import (
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/market"
+	"clustermarket/internal/resource"
 )
+
+func poolOf(cluster string) resource.Pool {
+	return resource.Pool{Cluster: cluster, Dim: resource.CPU}
+}
 
 // testRegion builds a region of `clusters` uniform clusters filled to the
 // given utilization, with clusters named "<name>-r1", "<name>-r2", ….

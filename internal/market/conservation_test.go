@@ -1,21 +1,29 @@
-package market
+// Conservation tests live in the external test package so they can
+// consume the shared invariant kernel (internal/invariant imports
+// market; an in-package test would be an import cycle). The kernel —
+// not local assertion copies — is the single source of truth for what
+// these tests enforce.
+package market_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
-	"clustermarket/internal/resource"
+	"clustermarket/internal/invariant"
+	"clustermarket/internal/market"
 )
 
 // TestLedgerConservationRandomized drives a randomized multi-epoch market
-// and asserts, after every settlement, the invariants the exchange's
-// books must never violate: the double-entry ledger sums to zero, no team
-// balance goes negative, and the quota won in any single auction never
-// exceeds the fleet's capacity in any pool.
+// and runs the shared invariant kernel after every settlement: balanced
+// double-entry ledger (whole and per auction), non-negative balances,
+// commitments agreeing with open exposure, per-auction wins within
+// capacity, clearing prices at or above reserve, and consistent open
+// counters.
 func TestLedgerConservationRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	fleet := cluster.NewFleet()
@@ -31,7 +39,7 @@ func TestLedgerConservationRandomized(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ex, err := NewExchange(fleet, Config{InitialBudget: 1e5})
+	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: 1e5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,29 +68,17 @@ func TestLedgerConservationRandomized(t *testing.T) {
 		if _, _, err := ex.RunAuction(); err != nil && !errors.Is(err, core.ErrNoConvergence) {
 			t.Fatalf("epoch %d: %v", epoch, err)
 		}
-		if !ex.LedgerBalanced(1e-6) {
-			t.Fatalf("epoch %d: ledger unbalanced", epoch)
-		}
-		for _, team := range ex.Teams() {
-			bal, err := ex.Balance(team)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if bal < -1e-6 {
-				t.Fatalf("epoch %d: %s balance %g < 0", epoch, team, bal)
-			}
-		}
-		assertAuctionWinsWithinCapacity(t, ex, epoch)
+		invariant.RequireExchange(t, fmt.Sprintf("epoch %d", epoch), ex)
 	}
 }
 
 // TestShardedPipelineStressConservation hammers the sharded order
 // pipeline from every direction at once — submits, cancels, status
 // polls, and a continuously settling auctioneer across all stripes (run
-// with -race) — then asserts the invariants the striped books must still
-// uphold once traffic quiesces: the double-entry ledger sums to zero, no
-// team balance is negative, the open-order counters agree with a full
-// scan, and the incremental budget commitments agree with the book.
+// with -race) — then runs the shared invariant kernel once traffic
+// quiesces. The kernel's commitments-match-exposure check subsumes the
+// old openBuy-drained assertion: after the drain no order is Open, so
+// every commitment counter must be exactly zero.
 func TestShardedPipelineStressConservation(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	fleet := cluster.NewFleet()
@@ -98,7 +94,7 @@ func TestShardedPipelineStressConservation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	ex, err := NewExchange(fleet, Config{InitialBudget: 1e6, Shards: 4})
+	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: 1e6, Shards: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +117,7 @@ func TestShardedPipelineStressConservation(t *testing.T) {
 			default:
 			}
 			if _, _, err := ex.RunAuction(); err != nil &&
-				!errors.Is(err, ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
+				!errors.Is(err, market.ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
 				t.Errorf("RunAuction: %v", err)
 				return
 			}
@@ -172,76 +168,10 @@ func TestShardedPipelineStressConservation(t *testing.T) {
 			t.Fatal("book did not drain")
 		}
 		if _, _, err := ex.RunAuction(); err != nil &&
-			!errors.Is(err, ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
+			!errors.Is(err, market.ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
 			t.Fatal(err)
 		}
 	}
 
-	if !ex.LedgerBalanced(1e-6) {
-		t.Error("ledger unbalanced after sharded stress")
-	}
-	for _, team := range ex.Teams() {
-		bal, err := ex.Balance(team)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if bal < -1e-6 {
-			t.Errorf("%s balance %g < 0", team, bal)
-		}
-	}
-	// Per-stripe open counters must agree with a status scan, and the
-	// budget commitments with the surviving open exposure (none remain
-	// after the drain).
-	openScan := 0
-	for _, o := range ex.Orders() {
-		if o.Status == Open {
-			openScan++
-		}
-	}
-	if got := ex.OpenOrderCount(); got != openScan {
-		t.Errorf("OpenOrderCount = %d, scan says %d", got, openScan)
-	}
-	for s := range ex.accountShards {
-		as := &ex.accountShards[s]
-		as.mu.RLock()
-		for team, got := range as.openBuy {
-			if got < -1e-9 || got > 1e-9 {
-				t.Errorf("openBuy[%s] = %v after drain, want 0", team, got)
-			}
-		}
-		as.mu.RUnlock()
-	}
-	assertAuctionWinsWithinCapacity(t, ex, -1)
-}
-
-// assertAuctionWinsWithinCapacity sums the won allocations per (auction,
-// pool) and checks no auction sold more than the fleet's capacity.
-func assertAuctionWinsWithinCapacity(t *testing.T, ex *Exchange, epoch int) {
-	t.Helper()
-	reg := ex.Registry()
-	cap := ex.Fleet().CapacityVector(reg)
-	won := make(map[int]resource.Vector)
-	for _, o := range ex.Orders() {
-		if o.Status != Won {
-			continue
-		}
-		v, ok := won[o.Auction]
-		if !ok {
-			v = reg.Zero()
-			won[o.Auction] = v
-		}
-		for i, q := range o.Allocation {
-			if q > 0 {
-				v[i] += q
-			}
-		}
-	}
-	for auction, v := range won {
-		for i, q := range v {
-			if q > cap[i]+1e-6 {
-				t.Fatalf("epoch %d: auction %d won %g of %s, capacity %g",
-					epoch, auction, q, reg.Pool(i), cap[i])
-			}
-		}
-	}
+	invariant.RequireExchange(t, "after sharded stress", ex)
 }

@@ -1000,6 +1000,27 @@ func (e *Exchange) LedgerBalanced(eps float64) bool {
 	return s < eps && s > -eps
 }
 
+// BuyCommitments returns a snapshot of every team's running buy-side
+// budget commitment — the exposure reserved for its open buy orders. The
+// invariant kernel compares it against a scan of the open book: at any
+// quiescent instant the two must agree exactly (the O(1) incremental
+// counters are only a cache of the book's true exposure). Teams with zero
+// commitment are omitted.
+func (e *Exchange) BuyCommitments() map[string]float64 {
+	out := make(map[string]float64)
+	for s := range e.accountShards {
+		as := &e.accountShards[s]
+		as.mu.RLock()
+		for team, exp := range as.openBuy {
+			if exp != 0 {
+				out[team] = exp
+			}
+		}
+		as.mu.RUnlock()
+	}
+	return out
+}
+
 // Teams lists the non-operator accounts in sorted order.
 func (e *Exchange) Teams() []string {
 	var out []string

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Catalog returns the named scenarios, sorted by name. Each entry is a
+// fresh value: scenarios carry no state, but callers are free to tweak
+// the returned copies.
+//
+// The catalog (see DESIGN.md for the how-to-add guide):
+//
+//	adaptive-learning — static demand, adaptive premium shading; the
+//	    Table I learning curve: median premiums fall epoch over epoch.
+//	churn             — a quarter of the bidder population is replaced
+//	    every epoch, with periodic budget refresh cycles.
+//	diurnal           — sinusoidal demand waves with load ebbing in the
+//	    troughs; prices must track the congestion cycle.
+//	flash-crowd       — a mid-run burst of demand pinned to the hottest
+//	    pool, paying heavy premiums, then subsiding.
+//	region-outage     — region r2 goes dark mid-run and rejoins; orders
+//	    waiting on it settle after the rejoin.
+//	trader-storm      — hostile cycling trader pairs drive clock
+//	    non-convergence storms mid-run; the livelock guard must retire
+//	    the poisoned batches and every invariant must hold throughout.
+func Catalog() []*Scenario {
+	list := []*Scenario{
+		{
+			Name:        "diurnal",
+			Description: "sinusoidal demand waves; load placed at the peaks ebbs in the troughs",
+			Epochs:      10,
+			Intensity: func(epoch int) float64 {
+				// Period-8 wave between 0.3 and 1.5.
+				return 0.9 + 0.6*math.Sin(2*math.Pi*float64(epoch)/8)
+			},
+			Evict: func(epoch int) float64 {
+				// The ebb: drop placed demand while the wave is low.
+				if math.Sin(2*math.Pi*float64(epoch)/8) < -0.3 {
+					return 0.35
+				}
+				return 0
+			},
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "a mid-run burst of demand pinned to the hottest pool, then subsiding",
+			Epochs:      9,
+			HotFocus: func(epoch int) float64 {
+				if epoch >= 3 && epoch <= 5 {
+					return 0.8
+				}
+				return 0.05
+			},
+		},
+		{
+			Name:        "churn",
+			Description: "bidder churn with budget refresh cycles: a quarter of the population is new every epoch",
+			Epochs:      10,
+			Churn: func(epoch int) float64 {
+				if epoch == 0 {
+					return 0
+				}
+				return 0.25
+			},
+			BudgetRefresh: func(epoch int) float64 {
+				// Refresh every third epoch, as a quota period rollover.
+				if epoch > 0 && epoch%3 == 0 {
+					return 20000
+				}
+				return 0
+			},
+		},
+		{
+			Name:        "region-outage",
+			Description: "region r2 goes dark mid-run and rejoins; waiting orders settle after the rejoin",
+			Epochs:      9,
+			Down: func(epoch int, regions []string) []string {
+				if len(regions) < 2 {
+					return nil
+				}
+				if epoch >= 3 && epoch <= 5 {
+					return []string{regions[1]}
+				}
+				return nil
+			},
+		},
+		{
+			Name:        "adaptive-learning",
+			Description: "adaptive bidders shade premiums from past results — the Table I learning curve",
+			Epochs:      10,
+			Adaptive:    true,
+		},
+		{
+			Name:        "trader-storm",
+			Description: "hostile cycling trader pairs force clock non-convergence storms mid-run",
+			Epochs:      10,
+			TraderPairs: func(epoch int) int {
+				if epoch >= 3 && epoch <= 5 {
+					return 1
+				}
+				return 0
+			},
+		},
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+	return list
+}
+
+// Lookup returns the named catalog scenario.
+func Lookup(name string) (*Scenario, error) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// Names lists the catalog scenario names in sorted order.
+func Names() []string {
+	var out []string
+	for _, sc := range Catalog() {
+		out = append(out, sc.Name)
+	}
+	return out
+}

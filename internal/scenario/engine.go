@@ -1,0 +1,727 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clustermarket/internal/core"
+	"clustermarket/internal/invariant"
+	"clustermarket/internal/market"
+	"clustermarket/internal/resource"
+	"clustermarket/internal/stats"
+)
+
+// The operator's real unit costs — the pre-market fixed prices bidders
+// value against (the Figure 6 denominators, same constants as
+// internal/sim).
+const (
+	unitCostCPU  = 1.0
+	unitCostRAM  = 0.25
+	unitCostDisk = 2.0
+)
+
+// Config parameterizes one scenario run. The same Config must be used to
+// build the Backend and to Run the scenario: topology (regions,
+// clusters) and determinism (seed) both flow from it.
+type Config struct {
+	Seed int64
+	// Epochs overrides the scenario's default epoch count when positive.
+	Epochs int
+	// Regions is the number of sub-markets (default 3).
+	Regions int
+	// ClustersPerRegion (default 2) and MachinesPerCluster (default 10)
+	// size each region's fleet.
+	ClustersPerRegion  int
+	MachinesPerCluster int
+	// Teams is the bidder population size (default 18).
+	Teams int
+	// InitialBudget per account (default 2.5e5).
+	InitialBudget float64
+	// MaxRounds bounds each clock. Scenario worlds keep it low enough
+	// (default 1500) that a hostile trader mix hits the cap — a
+	// non-convergence storm — instead of grinding 100k rounds.
+	MaxRounds int
+	// Shards is the exchange book stripe count (0 selects the default).
+	Shards int
+	// SpotEvery runs the dense≡incremental engine-equivalence spot check
+	// on one region's fresh bid stream every SpotEvery epochs (default 3;
+	// negative disables).
+	SpotEvery int
+
+	rng *rand.Rand
+}
+
+func (c *Config) applyDefaults() {
+	if c.Regions <= 0 {
+		c.Regions = 3
+	}
+	if c.ClustersPerRegion <= 0 {
+		c.ClustersPerRegion = 2
+	}
+	if c.MachinesPerCluster <= 0 {
+		c.MachinesPerCluster = 10
+	}
+	if c.Teams <= 0 {
+		c.Teams = 18
+	}
+	if c.InitialBudget == 0 {
+		c.InitialBudget = 2.5e5
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 1500
+	}
+	if c.SpotEvery == 0 {
+		c.SpotEvery = 3
+	}
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Seed))
+	}
+}
+
+// NewBackend builds the named backend kind ("exchange" or "federation")
+// for the config.
+func NewBackend(kind string, cfg Config) (Backend, error) {
+	switch kind {
+	case "exchange":
+		return NewExchangeBackend(cfg)
+	case "federation":
+		return NewFederationBackend(cfg)
+	default:
+		return nil, fmt.Errorf("scenario: unknown backend %q (want exchange or federation)", kind)
+	}
+}
+
+// Scenario is one scripted event timeline. Every hook is optional; nil
+// means "no such events". Hooks must be pure functions of their inputs —
+// the engine owns all randomness — so a scenario is replayable from a
+// seed.
+type Scenario struct {
+	Name        string
+	Description string
+	// Epochs is the default run length.
+	Epochs int
+	// Adaptive enables premium learning: teams shade their next limit
+	// from past results, reproducing the Table I trend.
+	Adaptive bool
+	// Intensity scales epoch demand (1 = baseline) — diurnal waves.
+	Intensity func(epoch int) float64
+	// HotFocus is the fraction of demand pinned to the market's hottest
+	// cluster (r1-c1) — flash crowds.
+	HotFocus func(epoch int) float64
+	// Churn is the fraction of teams replaced at the epoch's start.
+	Churn func(epoch int) float64
+	// BudgetRefresh is the per-account budget credited at the epoch's
+	// start, disbursed equal-shares through the billing ledger. Every
+	// account ever opened receives it — churned-out teams keep their
+	// accounts (and balances), as real quota-period rollovers do — so the
+	// engine sizes the disbursed total by the full account population,
+	// not just the live bidders.
+	BudgetRefresh func(epoch int) float64
+	// Down lists the regions dark this epoch: no new demand names their
+	// clusters and (on the federation backend) their auctions are skipped.
+	Down func(epoch int, regions []string) []string
+	// TraderPairs injects that many hostile cycling trader pairs into the
+	// first live region — clock non-convergence storms.
+	TraderPairs func(epoch int) int
+	// Evict removes this fraction of previously placed demand from every
+	// live region at the epoch's end — the ebb of a diurnal trough.
+	Evict func(epoch int) float64
+}
+
+func (sc *Scenario) intensity(e int) float64 {
+	if sc.Intensity == nil {
+		return 1
+	}
+	return sc.Intensity(e)
+}
+func (sc *Scenario) hotFocus(e int) float64 {
+	if sc.HotFocus == nil {
+		return 0
+	}
+	return sc.HotFocus(e)
+}
+func (sc *Scenario) churn(e int) float64 {
+	if sc.Churn == nil {
+		return 0
+	}
+	return sc.Churn(e)
+}
+func (sc *Scenario) budgetRefresh(e int) float64 {
+	if sc.BudgetRefresh == nil {
+		return 0
+	}
+	return sc.BudgetRefresh(e)
+}
+func (sc *Scenario) down(e int, regions []string) []string {
+	if sc.Down == nil {
+		return nil
+	}
+	return sc.Down(e, regions)
+}
+func (sc *Scenario) traderPairs(e int) int {
+	if sc.TraderPairs == nil {
+		return 0
+	}
+	return sc.TraderPairs(e)
+}
+func (sc *Scenario) evict(e int) float64 {
+	if sc.Evict == nil {
+		return 0
+	}
+	return sc.Evict(e)
+}
+
+// RegionPrice is one region's mean CPU price at an epoch boundary.
+type RegionPrice struct {
+	Region  string
+	MeanCPU float64
+}
+
+// EpochSummary is the deterministic record of one epoch. Two runs from
+// the same seed must produce bit-identical summaries — the Fingerprint
+// test enforces it.
+type EpochSummary struct {
+	Epoch int
+	// Teams is the live bidder population after churn.
+	Teams int
+	// Submitted and Rejected count this epoch's product orders;
+	// StormBids counts injected hostile trader bids.
+	Submitted, Rejected, StormBids int
+	// Auctions and Converged count settlement records this epoch.
+	Auctions, Converged int
+	// Settled sums orders settled as Won across this epoch's records.
+	Settled int
+	// Won, Lost, Unsettled count terminal outcomes observed among the
+	// engine's tracked orders this epoch.
+	Won, Lost, Unsettled int
+	// MedianPremium is the median γ_u across this epoch's settlements
+	// (0 when nothing settled) — the Table I column.
+	MedianPremium float64
+	// OpenOrders counts orders still awaiting settlement.
+	OpenOrders int
+	// Prices is each region's mean CPU price, in region order.
+	Prices []RegionPrice
+	// Dark lists the regions that were down this epoch.
+	Dark []string
+	// Violations counts invariant violations detected this epoch.
+	Violations int
+}
+
+// Report is a completed scenario run.
+type Report struct {
+	Scenario string
+	Backend  string
+	Seed     int64
+	Epochs   []EpochSummary
+	// Violations aggregates every invariant violation across epochs; a
+	// clean run has none.
+	Violations []invariant.Violation
+}
+
+// Fingerprint hashes the run's epoch summaries with bit-exact float
+// encoding. Two same-seed runs of the same scenario on the same backend
+// must return identical fingerprints.
+func (r *Report) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%d\n", r.Scenario, r.Backend, r.Seed)
+	for _, s := range r.Epochs {
+		fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%s|%d|%d|",
+			s.Epoch, s.Teams, s.Submitted, s.Rejected, s.StormBids,
+			s.Auctions, s.Converged, s.Settled, s.Won, s.Lost, s.Unsettled,
+			hexFloat(s.MedianPremium), s.OpenOrders, s.Violations)
+		for _, p := range s.Prices {
+			fmt.Fprintf(&b, "%s=%s;", p.Region, hexFloat(p.MeanCPU))
+		}
+		fmt.Fprintf(&b, "|%s\n", strings.Join(s.Dark, ","))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// hexFloat renders a float with every mantissa bit, so fingerprints
+// detect even last-ulp divergence.
+func hexFloat(f float64) string { return strconv.FormatFloat(f, 'x', -1, 64) }
+
+// simTeam is one synthetic bidder with persistent state across epochs.
+type simTeam struct {
+	name string
+	home string
+	// premium is the team's current shading above fair value; adaptive
+	// scenarios move it from past results.
+	premium float64
+	// mobility is the probability of offering cross-region alternatives.
+	mobility float64
+}
+
+// tracked is one open order the engine is watching.
+type tracked struct {
+	id    int
+	team  *simTeam
+	limit float64
+}
+
+// spotBid is one product order replayed through both clock engines for
+// the equivalence spot check.
+type spotBid struct {
+	clusters []string
+	product  string
+	qty      float64
+	limit    float64
+}
+
+var products = []string{"batch-compute", "serving-frontend", "bigtable-node", "gfs-storage"}
+
+// Run drives the backend through the scenario and returns the epoch
+// report. It returns an error only for engine-breaking failures; broken
+// invariants are collected in Report.Violations (and counted per epoch),
+// so a soak can report exactly which epoch corrupted which book.
+func Run(sc *Scenario, b Backend, cfg Config) (*Report, error) {
+	cfg.applyDefaults()
+	epochs := sc.Epochs
+	if cfg.Epochs > 0 {
+		epochs = cfg.Epochs
+	}
+	if epochs <= 0 {
+		epochs = 8
+	}
+	// The engine's rng is decorrelated from the backend-construction rng
+	// (same seed, offset stream), as sim.NewWorld does for trace.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	rep := &Report{Scenario: sc.Name, Backend: b.Kind(), Seed: cfg.Seed}
+	allClusters := func() []string {
+		var out []string
+		for _, rn := range b.Regions() {
+			out = append(out, b.ClustersOf(rn)...)
+		}
+		return out
+	}()
+
+	e := &engine{cfg: cfg, rng: rng, b: b, clusters: allClusters}
+	if err := e.populate(); err != nil {
+		return nil, err
+	}
+
+	for epoch := 0; epoch < epochs; epoch++ {
+		s, err := e.runEpoch(sc, epoch)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s epoch %d: %w", sc.Name, epoch, err)
+		}
+		rep.Epochs = append(rep.Epochs, *s)
+		rep.Violations = append(rep.Violations, e.epochViolations...)
+	}
+	return rep, nil
+}
+
+type engine struct {
+	cfg      Config
+	rng      *rand.Rand
+	b        Backend
+	clusters []string
+
+	teams   []*simTeam
+	teamSeq int
+	open    []tracked
+
+	epochViolations []invariant.Violation
+}
+
+// populate opens the initial team population plus the storm accounts.
+func (e *engine) populate() error {
+	for i := 0; i < e.cfg.Teams; i++ {
+		if err := e.addTeam(nil); err != nil {
+			return err
+		}
+	}
+	for _, t := range []string{"storm-a", "storm-b"} {
+		if err := e.b.OpenAccount(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addTeam opens one fresh account homed on a random cluster (drawn from
+// live when non-nil, anywhere otherwise).
+func (e *engine) addTeam(live []string) error {
+	pool := e.clusters
+	if len(live) > 0 {
+		pool = live
+	}
+	t := &simTeam{
+		name:     fmt.Sprintf("team-%03d", e.teamSeq),
+		home:     pool[e.rng.Intn(len(pool))],
+		premium:  0.4 + e.rng.Float64()*1.4,
+		mobility: e.rng.Float64(),
+	}
+	e.teamSeq++
+	if err := e.b.OpenAccount(t.name); err != nil {
+		return err
+	}
+	e.teams = append(e.teams, t)
+	return nil
+}
+
+// fairCost values a product order at the operator's real unit costs —
+// the reference price the team shades its premium over.
+func fairCost(product string, qty float64) (float64, error) {
+	p, err := market.StandardCatalog().Lookup(product)
+	if err != nil {
+		return 0, err
+	}
+	cover := p.Cover(qty)
+	return cover.CPU*unitCostCPU + cover.RAM*unitCostRAM + cover.Disk*unitCostDisk, nil
+}
+
+func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
+	e.epochViolations = nil
+	s := &EpochSummary{Epoch: epoch}
+
+	// 1. Outage map for the epoch.
+	down := make(map[string]bool)
+	for _, rn := range sc.down(epoch, e.b.Regions()) {
+		down[rn] = true
+		s.Dark = append(s.Dark, rn)
+	}
+	sort.Strings(s.Dark)
+	var live, liveRegions []string
+	for _, rn := range e.b.Regions() {
+		if down[rn] {
+			continue
+		}
+		liveRegions = append(liveRegions, rn)
+		live = append(live, e.b.ClustersOf(rn)...)
+	}
+	if len(live) == 0 {
+		return nil, errors.New("every region is dark")
+	}
+
+	// 2. Budget refresh. Equal shares split across every account the
+	// backend holds — teamSeq teams ever opened plus the two storm
+	// accounts — so each account receives exactly the per-account amount
+	// the scenario scripted, regardless of how much churn has grown the
+	// account population.
+	if per := sc.budgetRefresh(epoch); per > 0 {
+		if err := e.b.Disburse(per * float64(e.teamSeq+2)); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Bidder churn: the oldest teams leave, fresh ones join homed in
+	// live regions.
+	if frac := sc.churn(epoch); frac > 0 && len(e.teams) > 1 {
+		n := int(frac * float64(len(e.teams)))
+		if n >= len(e.teams) {
+			n = len(e.teams) - 1
+		}
+		e.teams = append([]*simTeam(nil), e.teams[n:]...)
+		for i := 0; i < n; i++ {
+			if err := e.addTeam(live); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.Teams = len(e.teams)
+
+	// 4. Demand generation.
+	spotRegion := liveRegions[0]
+	var spots []spotBid
+	intensity := sc.intensity(epoch)
+	hotFocus := sc.hotFocus(epoch)
+	hotCluster := e.b.ClustersOf(e.b.Regions()[0])[0]
+	hotLive := !down[e.b.Regions()[0]]
+	for _, tm := range e.teams {
+		if e.rng.Float64() > 0.7*intensity {
+			continue
+		}
+		product := products[e.rng.Intn(len(products))]
+		qty := 1 + e.rng.Float64()*2
+		fair, err := fairCost(product, qty)
+		if err != nil {
+			return nil, err
+		}
+		var clusters []string
+		var limit float64
+		if hotLive && e.rng.Float64() < hotFocus {
+			// Flash-crowd demand: pinned to the hot pool, priced to win.
+			clusters = []string{hotCluster}
+			limit = fair * (2.5 + tm.premium)
+		} else {
+			if down[e.regionOfCluster(tm.home)] {
+				// Teams homed in a dark region sit the epoch out.
+				continue
+			}
+			clusters = []string{tm.home}
+			if e.rng.Float64() < tm.mobility {
+				// Up to two substitutable alternatives elsewhere — the
+				// cross-region XOR path on the federation backend.
+				for _, alt := range e.pickAlternates(tm.home, live, 2) {
+					clusters = append(clusters, alt)
+				}
+			}
+			limit = fair * (1 + tm.premium)
+		}
+		id, err := e.b.SubmitProduct(tm.name, product, qty, clusters, limit)
+		if err != nil {
+			// Over budget (or a leg rejected everywhere): a normal epoch
+			// outcome for a drained account, not an engine failure.
+			s.Rejected++
+			continue
+		}
+		s.Submitted++
+		e.open = append(e.open, tracked{id: id, team: tm, limit: limit})
+		if e.regionOfAll(clusters) == spotRegion {
+			spots = append(spots, spotBid{clusters: clusters, product: product, qty: qty, limit: limit})
+		}
+	}
+
+	// 5. Hostile trader injection: cycling pairs whose mutual demand can
+	// never clear within MaxRounds — a non-convergence storm.
+	for i := 0; i < sc.traderPairs(epoch); i++ {
+		injected, err := e.injectTraderPair(spotRegion)
+		if err != nil {
+			return nil, err
+		}
+		if injected {
+			s.StormBids += 2
+		} else {
+			s.Rejected++
+		}
+	}
+
+	// 6. Settlement wave.
+	if err := e.b.Settle(down); err != nil {
+		return nil, err
+	}
+
+	// 7. Outcome scan: place won demand, adapt premiums, drop terminal
+	// orders from tracking.
+	kept := e.open[:0]
+	for _, tr := range e.open {
+		o, err := e.b.Outcome(tr.id)
+		if err != nil {
+			return nil, err
+		}
+		switch o.Status {
+		case market.Open:
+			kept = append(kept, tr)
+			continue
+		case market.Won:
+			s.Won++
+			e.b.Place(tr.id)
+			if sc.Adaptive {
+				tr.team.premium *= 0.55
+				if tr.team.premium < 0.02 {
+					tr.team.premium = 0.02
+				}
+			}
+		case market.Lost:
+			s.Lost++
+			if sc.Adaptive {
+				tr.team.premium = tr.team.premium*1.25 + 0.08
+				if tr.team.premium > 3 {
+					tr.team.premium = 3
+				}
+			}
+		case market.Unsettled:
+			s.Unsettled++
+		}
+	}
+	e.open = kept
+
+	// 8. Demand ebb.
+	if frac := sc.evict(epoch); frac > 0 {
+		for _, rn := range liveRegions {
+			e.b.EvictFraction(rn, frac)
+		}
+	}
+
+	// 9. Epoch record digest.
+	var premiums []float64
+	for _, rec := range e.b.EpochRecords() {
+		s.Auctions++
+		if rec.Converged {
+			s.Converged++
+		}
+		s.Settled += rec.Settled
+		premiums = append(premiums, rec.Premiums...)
+	}
+	if len(premiums) > 0 {
+		s.MedianPremium = stats.Median(premiums)
+	}
+	s.OpenOrders = e.b.OpenOrderCount()
+	for _, rn := range e.b.Regions() {
+		s.Prices = append(s.Prices, RegionPrice{Region: rn, MeanCPU: e.b.MeanCPUPrice(rn)})
+	}
+
+	// 10. The shared invariant kernel, every epoch — plus the periodic
+	// dense≡incremental spot check over this epoch's fresh bid stream.
+	vs := e.b.Check()
+	if e.cfg.SpotEvery > 0 && epoch%e.cfg.SpotEvery == e.cfg.SpotEvery-1 {
+		vs = append(vs, e.spotCheck(spotRegion, spots)...)
+	}
+	for i, v := range vs {
+		vs[i].Detail = fmt.Sprintf("epoch %d: %s", epoch, v.Detail)
+	}
+	e.epochViolations = vs
+	s.Violations = len(vs)
+	return s, nil
+}
+
+// regionOfCluster maps a cluster to its region via the shared naming
+// scheme (rK-cJ).
+func (e *engine) regionOfCluster(cn string) string {
+	if i := strings.IndexByte(cn, '-'); i > 0 {
+		return cn[:i]
+	}
+	return ""
+}
+
+// regionOfAll returns the single region owning every cluster, or "".
+func (e *engine) regionOfAll(clusters []string) string {
+	rn := ""
+	for _, cn := range clusters {
+		r := e.regionOfCluster(cn)
+		if rn == "" {
+			rn = r
+		} else if r != rn {
+			return ""
+		}
+	}
+	return rn
+}
+
+// pickAlternates samples up to n live clusters other than home.
+func (e *engine) pickAlternates(home string, live []string, n int) []string {
+	var cands []string
+	for _, cn := range live {
+		if cn != home {
+			cands = append(cands, cn)
+		}
+	}
+	var out []string
+	for len(out) < n && len(cands) > 0 {
+		i := e.rng.Intn(len(cands))
+		out = append(out, cands[i])
+		cands = append(cands[:i], cands[i+1:]...)
+	}
+	return out
+}
+
+// injectTraderPair books the canonical cycling trader mix into the
+// region: two traders, each buying CPU in one cluster against a sale in
+// the other. Active together they keep both pools in positive excess
+// demand, and their limits are deep enough that the clock hits MaxRounds
+// before pricing them out — Section III.C.3's divergence hazard, made
+// into a scenario event.
+//
+// The limit is sized to both ends: deep enough to survive the largest
+// price climb one clock can produce (the capped policy moves each pool
+// at most δ=0.25 per round, and the pair's per-round cost grows ≈150·p),
+// yet small enough that three pairs stranded open by consecutive
+// non-convergent epochs fit the storm account's budget commitment.
+// Injection can still lose that race when earlier pairs linger — on
+// either leg, since the two storm accounts' balances diverge once a
+// stranded pair settles — so a budget rejection on the second leg rolls
+// the first leg back; both cases are a normal storm outcome, reported
+// as injected=false, not an error.
+func (e *engine) injectTraderPair(region string) (injected bool, err error) {
+	clusters := e.b.ClustersOf(region)
+	if len(clusters) < 2 {
+		return false, fmt.Errorf("region %q needs 2 clusters for a trader pair", region)
+	}
+	c1, c2 := clusters[0], clusters[1]
+	reg := e.b.RegistryFor(c1)
+	mk := func(buy, sell string) (*core.Bid, error) {
+		v := reg.Zero()
+		bi, ok := reg.Index(resource.Pool{Cluster: buy, Dim: resource.CPU})
+		if !ok {
+			return nil, fmt.Errorf("no CPU pool in %q", buy)
+		}
+		si, ok := reg.Index(resource.Pool{Cluster: sell, Dim: resource.CPU})
+		if !ok {
+			return nil, fmt.Errorf("no CPU pool in %q", sell)
+		}
+		v[bi] = 300
+		v[si] = -150
+		return &core.Bid{User: "storm/" + buy, Bundles: []resource.Vector{v}, Limit: 0.3 * e.cfg.InitialBudget}, nil
+	}
+	b1, err := mk(c1, c2)
+	if err != nil {
+		return false, err
+	}
+	b2, err := mk(c2, c1)
+	if err != nil {
+		return false, err
+	}
+	id1, err := e.b.SubmitBid(c1, "storm-a", b1)
+	if err != nil {
+		return false, nil
+	}
+	if _, err := e.b.SubmitBid(c2, "storm-b", b2); err != nil {
+		// A lone cycling trader is not the scripted event — withdraw the
+		// first leg rather than leave an unmatched one-sided storm bid.
+		if cerr := e.b.CancelBid(c1, id1); cerr != nil {
+			return false, fmt.Errorf("rolling back trader pair leg %d: %w", id1, cerr)
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
+// spotCheck replays the epoch's single-region product orders through
+// both clock engines from the region's current reserve prices and
+// demands bit-identical results — the scenario-level form of the
+// incremental engine's differential guarantee.
+func (e *engine) spotCheck(region string, spots []spotBid) []invariant.Violation {
+	if len(spots) < 2 {
+		return nil
+	}
+	if len(spots) > 40 {
+		spots = spots[:40]
+	}
+	reg := e.b.RegistryFor(e.b.ClustersOf(region)[0])
+	start, err := e.b.ReservePrices(region)
+	if err != nil {
+		return []invariant.Violation{{Invariant: "engine-equivalence", Detail: "reserve prices: " + err.Error()}}
+	}
+	var bids []*core.Bid
+	for _, sp := range spots {
+		p, err := market.StandardCatalog().Lookup(sp.product)
+		if err != nil {
+			continue
+		}
+		cover := p.Cover(sp.qty)
+		var bundles []resource.Vector
+		for _, cn := range sp.clusters {
+			v := reg.Zero()
+			found := false
+			for _, d := range resource.StandardDimensions {
+				if i, ok := reg.Index(resource.Pool{Cluster: cn, Dim: d}); ok {
+					v[i] = cover.Get(d)
+					found = true
+				}
+			}
+			if found {
+				bundles = append(bundles, v)
+			}
+		}
+		if len(bundles) == 0 {
+			continue
+		}
+		bids = append(bids, &core.Bid{User: "spot", Bundles: bundles, Limit: sp.limit})
+	}
+	if len(bids) < 2 {
+		return nil
+	}
+	return invariant.CheckEngineEquivalence(reg, bids, core.Config{
+		Start:     start,
+		MaxRounds: e.cfg.MaxRounds,
+	})
+}

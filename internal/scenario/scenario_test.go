@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+var backendKinds = []string{"exchange", "federation"}
+
+// runNamed is the test harness: build the backend, run the scenario,
+// and fail on any engine error.
+func runNamed(t *testing.T, name, kind string, cfg Config) *Report {
+	t.Helper()
+	sc, err := Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend(kind, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestCatalogCleanOnBothBackends is the acceptance gate: every named
+// scenario runs end to end on both the single-exchange and federated
+// backends, actually trades, and passes the shared invariant kernel
+// after every epoch.
+func TestCatalogCleanOnBothBackends(t *testing.T) {
+	for _, sc := range Catalog() {
+		for _, kind := range backendKinds {
+			t.Run(sc.Name+"/"+kind, func(t *testing.T) {
+				rep := runNamed(t, sc.Name, kind, Config{Seed: 42})
+				for _, v := range rep.Violations {
+					t.Errorf("invariant violated: %s", v)
+				}
+				var submitted, converged, won int
+				for _, s := range rep.Epochs {
+					submitted += s.Submitted
+					converged += s.Converged
+					won += s.Won
+				}
+				if submitted == 0 || converged == 0 || won == 0 {
+					t.Errorf("degenerate run: submitted=%d converged=%d won=%d", submitted, converged, won)
+				}
+			})
+		}
+	}
+}
+
+// TestSameSeedBitIdentical pins the engine's reproducibility contract:
+// two runs of the same scenario, backend, and seed produce bit-identical
+// epoch summaries (and therefore identical fingerprints). This is the
+// satellite test for the RNG/map-iteration nondeterminism audit — any
+// unseeded randomness or map-order dependence anywhere under the engine
+// (exchange settlement, federation routing, placement) breaks it.
+func TestSameSeedBitIdentical(t *testing.T) {
+	for _, sc := range Catalog() {
+		for _, kind := range backendKinds {
+			t.Run(sc.Name+"/"+kind, func(t *testing.T) {
+				a := runNamed(t, sc.Name, kind, Config{Seed: 97})
+				b := runNamed(t, sc.Name, kind, Config{Seed: 97})
+				if a.Fingerprint() != b.Fingerprint() {
+					t.Errorf("same-seed fingerprints diverged: %s vs %s", a.Fingerprint(), b.Fingerprint())
+				}
+				if !reflect.DeepEqual(a.Epochs, b.Epochs) {
+					t.Errorf("same-seed epoch summaries diverged:\n%+v\nvs\n%+v", a.Epochs, b.Epochs)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentSeedsDiverge guards the fingerprint itself: if two runs
+// with different seeds hash identically, the fingerprint is not actually
+// covering the summaries.
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := runNamed(t, "diurnal", "exchange", Config{Seed: 1})
+	b := runNamed(t, "diurnal", "exchange", Config{Seed: 2})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different seeds produced identical fingerprints")
+	}
+}
+
+// TestAdaptiveLearningReproducesTableI asserts the paper's learning
+// curve: with adaptive premium shading, the median settled premium γ_u
+// falls substantially across successive auctions (Table I shows the
+// median dropping every auction as bidders learn the market).
+func TestAdaptiveLearningReproducesTableI(t *testing.T) {
+	for _, kind := range backendKinds {
+		rep := runNamed(t, "adaptive-learning", kind, Config{Seed: 42})
+		n := len(rep.Epochs)
+		early := (rep.Epochs[0].MedianPremium + rep.Epochs[1].MedianPremium) / 2
+		late := (rep.Epochs[n-1].MedianPremium + rep.Epochs[n-2].MedianPremium) / 2
+		if late >= early/2 {
+			t.Errorf("%s: premiums did not learn down: early median %.3f, late median %.3f", kind, early, late)
+		}
+	}
+}
+
+// TestFlashCrowdHeatsHotPool asserts prices track congestion: the burst
+// of demand pinned to region r1's hot pool must leave r1's CPU price
+// above its pre-crowd level.
+func TestFlashCrowdHeatsHotPool(t *testing.T) {
+	for _, kind := range backendKinds {
+		rep := runNamed(t, "flash-crowd", kind, Config{Seed: 42})
+		pre := rep.Epochs[2].Prices[0]
+		post := rep.Epochs[5].Prices[0]
+		if pre.Region != "r1" || post.Region != "r1" {
+			t.Fatalf("%s: price rows not in region order: %+v", kind, rep.Epochs[2].Prices)
+		}
+		if post.MeanCPU <= pre.MeanCPU {
+			t.Errorf("%s: flash crowd did not heat r1: %.3f -> %.3f", kind, pre.MeanCPU, post.MeanCPU)
+		}
+	}
+}
+
+// TestDiurnalDemandFollowsWave asserts the wave actually modulates the
+// submitted order flow: peak epochs carry more demand than troughs.
+func TestDiurnalDemandFollowsWave(t *testing.T) {
+	rep := runNamed(t, "diurnal", "exchange", Config{Seed: 42})
+	peak := rep.Epochs[1].Submitted + rep.Epochs[2].Submitted
+	trough := rep.Epochs[5].Submitted + rep.Epochs[6].Submitted
+	if peak <= trough {
+		t.Errorf("demand did not follow the wave: peak epochs %d orders, trough epochs %d", peak, trough)
+	}
+}
+
+// TestRegionOutageSkipsAndRejoins asserts the chaos path on the
+// federated backend: while r2 is dark its auctions stop (one fewer
+// settlement record per wave), and after the rejoin the full region set
+// settles again.
+func TestRegionOutageSkipsAndRejoins(t *testing.T) {
+	rep := runNamed(t, "region-outage", "federation", Config{Seed: 42})
+	for _, s := range rep.Epochs {
+		dark := len(s.Dark) > 0
+		switch {
+		case dark && s.Auctions > 2:
+			t.Errorf("epoch %d: %d auctions while %v dark", s.Epoch, s.Auctions, s.Dark)
+		case dark && !strings.Contains(strings.Join(s.Dark, ","), "r2"):
+			t.Errorf("epoch %d: unexpected dark set %v", s.Epoch, s.Dark)
+		}
+	}
+	last := rep.Epochs[len(rep.Epochs)-1]
+	if last.Auctions != 3 {
+		t.Errorf("after rejoin, final epoch settled %d regions, want 3", last.Auctions)
+	}
+	if len(rep.Epochs[3].Dark) == 0 || len(rep.Epochs[6].Dark) != 0 {
+		t.Errorf("outage window not where scripted: %+v", rep.Epochs)
+	}
+}
+
+// TestTraderStormForcesNonConvergenceAndRecovers asserts the hostile
+// path end to end: during the storm the poisoned clocks hit MaxRounds
+// (non-convergent epochs), the livelock guard retires stranded batches
+// as Unsettled, and once the storm passes the market clears again —
+// with the invariant kernel green throughout (checked by the catalog
+// gate above; re-checked here on this run).
+func TestTraderStormForcesNonConvergenceAndRecovers(t *testing.T) {
+	for _, kind := range backendKinds {
+		rep := runNamed(t, "trader-storm", kind, Config{Seed: 42})
+		for _, v := range rep.Violations {
+			t.Errorf("%s: invariant violated during storm: %s", kind, v)
+		}
+		stormEpochs, unsettled := 0, 0
+		for _, s := range rep.Epochs {
+			if s.Auctions > 0 && s.Converged < s.Auctions {
+				stormEpochs++
+			}
+			unsettled += s.Unsettled
+		}
+		if stormEpochs < 2 {
+			t.Errorf("%s: only %d non-convergent epochs; storm did not bite", kind, stormEpochs)
+		}
+		if unsettled == 0 {
+			t.Errorf("%s: no orders retired Unsettled; livelock guard never fired", kind)
+		}
+		last := rep.Epochs[len(rep.Epochs)-1]
+		if last.Converged == 0 || last.Won == 0 {
+			t.Errorf("%s: market did not recover after the storm: %+v", kind, last)
+		}
+	}
+}
+
+// TestChurnKeepsMarketLiquid asserts a quarter of the population being
+// new every epoch (with budget refresh cycles) never starves the market:
+// every epoch still settles trades.
+func TestChurnKeepsMarketLiquid(t *testing.T) {
+	rep := runNamed(t, "churn", "federation", Config{Seed: 42})
+	for _, s := range rep.Epochs {
+		if s.Settled == 0 {
+			t.Errorf("epoch %d settled nothing under churn", s.Epoch)
+		}
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("catalog has %d scenarios, want >= 5", len(names))
+	}
+	for _, want := range []string{"diurnal", "flash-crowd", "churn", "region-outage", "adaptive-learning", "trader-storm"} {
+		if _, err := Lookup(want); err != nil {
+			t.Errorf("Lookup(%q): %v", want, err)
+		}
+	}
+	if _, err := Lookup("no-such"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := NewBackend("no-such", Config{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestSubmitCancelBidRoundTrip exercises the raw-bid path both backends
+// expose for event injection: a booked bid can be withdrawn (the
+// rollback injectTraderPair uses when a pair's second leg is rejected),
+// and bad clusters are rejected.
+func TestSubmitCancelBidRoundTrip(t *testing.T) {
+	for _, kind := range backendKinds {
+		cfg := Config{Seed: 11}
+		b, err := NewBackend(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.OpenAccount("raw"); err != nil {
+			t.Fatal(err)
+		}
+		cn := b.ClustersOf("r1")[0]
+		reg := b.RegistryFor(cn)
+		v := reg.Zero()
+		i, ok := reg.Index(resource.Pool{Cluster: cn, Dim: resource.CPU})
+		if !ok {
+			t.Fatalf("%s: no CPU pool in %q", kind, cn)
+		}
+		v[i] = 4
+		id, err := b.SubmitBid(cn, "raw", &core.Bid{User: "raw/x", Bundles: []resource.Vector{v}, Limit: 50})
+		if err != nil {
+			t.Fatalf("%s: SubmitBid: %v", kind, err)
+		}
+		if err := b.CancelBid(cn, id); err != nil {
+			t.Fatalf("%s: CancelBid: %v", kind, err)
+		}
+		if err := b.CancelBid(cn, id); err == nil {
+			t.Errorf("%s: double cancel accepted", kind)
+		}
+		if kind == "federation" {
+			if _, err := b.SubmitBid("mars-c1", "raw", &core.Bid{User: "raw/y", Bundles: []resource.Vector{v}, Limit: 5}); err == nil {
+				t.Error("federation: bid for unknown cluster accepted")
+			}
+			if err := b.CancelBid("mars-c1", 0); err == nil {
+				t.Error("federation: cancel for unknown cluster accepted")
+			}
+		}
+	}
+}
+
+// TestConfigOverridesEpochs checks cfg.Epochs overrides the scenario
+// default — the cmd/marketsim -epochs flag path.
+func TestConfigOverridesEpochs(t *testing.T) {
+	rep := runNamed(t, "diurnal", "exchange", Config{Seed: 3, Epochs: 4})
+	if len(rep.Epochs) != 4 {
+		t.Errorf("epochs = %d, want 4", len(rep.Epochs))
+	}
+}

@@ -647,7 +647,11 @@ func Migration(cfg Config, auctions int) ([]MigrationRow, error) {
 		movers := 0
 		for _, tr := range out.Trades {
 			movedTo := ""
-			for pi, q := range tr.PoolQty {
+			// Pool indices are visited in sorted order, not map order:
+			// cold/hot/total are float accumulations, and same-seed runs
+			// must produce bit-identical rows.
+			for _, pi := range sortedPoolQtyIndices(tr.PoolQty) {
+				q := tr.PoolQty[pi]
 				if q <= 0 {
 					continue
 				}
@@ -694,6 +698,17 @@ func RenderMigration(w io.Writer, rows []MigrationRow) {
 	}
 	fmt.Fprint(w, chart.Table("Demand migration across auctions",
 		[]string{"Auction", "Bought in cold pools", "Bought in hot pools", "Teams moved", "Util spread (CV)"}, cells))
+}
+
+// sortedPoolQtyIndices returns a trade's pool indices in ascending order,
+// so accumulations over the PoolQty map are order-stable.
+func sortedPoolQtyIndices(pq map[int]float64) []int {
+	idx := make([]int, 0, len(pq))
+	for pi := range pq {
+		idx = append(idx, pi)
+	}
+	sort.Ints(idx)
+	return idx
 }
 
 // sortedPoolIndices returns pool indices sorted by cluster then dimension

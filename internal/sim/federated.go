@@ -208,48 +208,15 @@ func regionMeanCPUPrice(r *federation.Region) float64 {
 // placeFederatedWin reflects a won federated order onto the winning
 // region's clusters as chunked tasks, so settled demand shows up in the
 // region's utilization — and therefore in its future reserve prices.
+// The shared placement helper visits clusters in sorted name order:
+// placement is bin-packing, so the order tasks land decides which
+// chunks fit, hence future utilization, hence future reserve prices —
+// map-order iteration here used to make same-seed runs diverge.
 func placeFederatedWin(fed *federation.Federation, fo *federation.FedOrder) {
 	region := fed.Region(fo.Region)
 	if region == nil {
 		return
 	}
-	fleet := region.Exchange().Fleet()
-	reg := region.Exchange().Registry()
-	perCluster := make(map[string]cluster.Usage)
-	for i, q := range fo.Allocation {
-		if q <= 0 {
-			continue
-		}
-		p := reg.Pool(i)
-		u := perCluster[p.Cluster]
-		perCluster[p.Cluster] = u.Set(p.Dim, u.Get(p.Dim)+q)
-	}
-	chunk := cluster.Usage{CPU: 8, RAM: 32, Disk: 5}
-	for cn, total := range perCluster {
-		for i := 0; i < 10000 && !total.IsZero(); i++ {
-			req := total
-			if req.CPU > chunk.CPU {
-				req.CPU = chunk.CPU
-			}
-			if req.RAM > chunk.RAM {
-				req.RAM = chunk.RAM
-			}
-			if req.Disk > chunk.Disk {
-				req.Disk = chunk.Disk
-			}
-			if _, err := fleet.ScheduleTask(fo.Team, cn, req); err != nil {
-				break
-			}
-			total = total.Sub(req)
-			if total.CPU < 0 {
-				total.CPU = 0
-			}
-			if total.RAM < 0 {
-				total.RAM = 0
-			}
-			if total.Disk < 0 {
-				total.Disk = 0
-			}
-		}
-	}
+	ex := region.Exchange()
+	ex.Fleet().PlaceAllocationChunked(ex.Registry(), fo.Team, fo.Allocation, nil)
 }

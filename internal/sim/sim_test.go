@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"clustermarket/internal/invariant"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/trace"
 )
@@ -74,9 +75,9 @@ func TestRunAuctionEndToEnd(t *testing.T) {
 	if w.LastPrices == nil {
 		t.Fatal("LastPrices not recorded")
 	}
-	if !w.Exchange.LedgerBalanced(1e-6) {
-		t.Error("ledger unbalanced after settlement")
-	}
+	// The shared invariant kernel replaces the old one-off ledger check:
+	// balances, commitments, capacity, and reserve floors too.
+	invariant.RequireExchange(t, "after settlement", w.Exchange)
 	// A second auction must run off the updated state.
 	out2, err := w.RunAuction()
 	if err != nil {

@@ -1,0 +1,86 @@
+package webui
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/market"
+)
+
+// fuzzServerOnce builds one shared Server over a tiny settled market;
+// the fuzzer hammers its read-only endpoints, so one instance serves
+// every execution.
+var fuzzServerOnce = sync.OnceValue(func() *Server {
+	f := cluster.NewFleet()
+	for _, name := range []string{"r1", "r2"} {
+		c := cluster.New(name, nil)
+		c.AddMachines(10, cluster.Usage{CPU: 10, RAM: 20, Disk: 5})
+		if err := f.AddCluster(c); err != nil {
+			panic(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	if err := f.FillToUtilization(rng, "r1", cluster.Usage{CPU: 0.8, RAM: 0.8, Disk: 0.8}); err != nil {
+		panic(err)
+	}
+	ex, err := market.NewExchange(f, market.Config{InitialBudget: 5000})
+	if err != nil {
+		panic(err)
+	}
+	if err := ex.OpenAccount("web-team"); err != nil {
+		panic(err)
+	}
+	if _, err := ex.SubmitProduct("web-team", "batch-compute", 1, []string{"r2"}, 500); err != nil {
+		panic(err)
+	}
+	if _, _, err := ex.RunAuction(); err != nil {
+		panic(err)
+	}
+	return New(ex)
+})
+
+// FuzzQueryParams drives the polling endpoints with arbitrary limit,
+// cluster, and dim query parameters. Properties:
+//
+//  1. no handler panics, whatever the parameters;
+//  2. every response is a deliberate status — 200 for served data, 400
+//     for malformed parameters, 404 for unknown pools — never a 5xx:
+//     user input must not be able to reach an internal-error path.
+func FuzzQueryParams(f *testing.F) {
+	f.Add("100", "r1", "cpu")
+	f.Add("", "", "")
+	f.Add("0", "r1", "ram")
+	f.Add("-5", "mars", "disk")
+	f.Add("999999999999999999999999", "r1", "CPU")
+	f.Add("10; DROP TABLE orders", "../../etc", "network")
+	f.Add("1e3", "r1\x00", "cpu ")
+	f.Add("NaN", "%2e%2e", "\u0000dim")
+	f.Fuzz(func(t *testing.T, limit, cluster, dim string) {
+		s := fuzzServerOnce()
+		q := url.Values{}
+		if limit != "" {
+			q.Set("limit", limit)
+		}
+		q.Set("cluster", cluster)
+		q.Set("dim", dim)
+		for _, path := range []string{
+			"/api/orders.json",
+			"/api/auctions.json",
+			"/api/history.json",
+			"/orders",
+		} {
+			req := httptest.NewRequest("GET", path+"?"+q.Encode(), nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			switch rec.Code {
+			case 200, 400, 404:
+			default:
+				t.Fatalf("GET %s?%s -> %d:\n%s", path, q.Encode(), rec.Code, rec.Body.String())
+			}
+		}
+	})
+}
