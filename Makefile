@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race vet bench bench-baseline bench-compare \
-	soak soak-race cover cover-update fuzz bench-ci
+	soak soak-race soak-crash cover cover-update fuzz bench-ci
 
 all: vet build test
 
@@ -27,7 +27,7 @@ bench:
 # (BenchmarkParallelSubmit across worker counts) appended to the same
 # file. Parametrized so re-running for a new PR cannot silently clobber
 # an earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
-BENCH_OUT ?= BENCH_pr4.json
+BENCH_OUT ?= BENCH_pr6.json
 bench-baseline:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)
 	$(GO) test -run 'xxx' -bench 'ParallelSubmit|ConcurrentSubmit' -benchtime 2000x -cpu 1,4,8 . | tee -a $(BENCH_OUT)
@@ -35,8 +35,8 @@ bench-baseline:
 # Compare two recorded baselines (default: the previous PR's against
 # this PR's). Informational by default — single-iteration CI timings are
 # noise — pass BENCH_FAIL_OVER=N to fail on a >N% ns/op regression.
-BENCH_OLD ?= BENCH_pr3.json
-BENCH_NEW ?= BENCH_pr4.json
+BENCH_OLD ?= BENCH_pr4.json
+BENCH_NEW ?= BENCH_pr6.json
 BENCH_FAIL_OVER ?= 0
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)
@@ -46,7 +46,7 @@ bench-compare:
 # tolerant threshold. Single-iteration timings swing wildly, so only a
 # blowup (accidental quadratic, lost fast path) trips the gate — real
 # perf work still uses bench-baseline on quiet hardware.
-BENCH_GATE_BASE ?= BENCH_pr4.json
+BENCH_GATE_BASE ?= BENCH_pr6.json
 BENCH_GATE_OVER ?= 400
 bench-ci:
 	$(MAKE) bench-baseline BENCH_OUT=BENCH_ci.json
@@ -61,6 +61,14 @@ soak:
 	$(GO) run ./cmd/marketsim $(SOAK_FLAGS)
 soak-race:
 	$(GO) run -race ./cmd/marketsim $(SOAK_FLAGS) -epochs 6
+
+# Crash-recovery soak: the crash-recovery scenario on both backends,
+# journaled, killed without flushing before epoch 4's settlement wave,
+# and resurrected from the WAL — exit code 3 if the recovered run's
+# fingerprint diverges from the in-memory baseline by even one bit.
+SOAK_CRASH_FLAGS ?= -scenario crash-recovery -backend both -seed 42 -crash-epoch 4
+soak-crash:
+	$(GO) run -race ./cmd/marketsim $(SOAK_CRASH_FLAGS) -journal-dir "$$(mktemp -d)"
 
 # Coverage with a checked-in floor (COVERAGE_FLOOR) and per-package
 # deltas against COVERAGE_baseline.txt. cover-update rewrites the

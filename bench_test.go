@@ -12,6 +12,7 @@ package clustermarket_test
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"sync/atomic"
@@ -21,6 +22,7 @@ import (
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/optimize"
 	"clustermarket/internal/reserve"
@@ -700,7 +702,46 @@ func BenchmarkParallelSubmit(b *testing.B) {
 // benchtime lets the book outgrow the auctioneer.
 func BenchmarkEpochLoop(b *testing.B) {
 	b.ReportAllocs()
-	ex := benchPlanetExchange(b, 16)
+	benchEpochLoop(b, benchPlanetExchange(b, 16))
+}
+
+// BenchmarkEpochLoopDurable is BenchmarkEpochLoop with the write-ahead
+// log attached: every account, order, auction outcome, and settlement is
+// journaled before it is applied. fsync-every-1 fsyncs each appended
+// batch — the durability ceiling — while fsync-every-16 shows what group
+// commit buys back. Compare settled/s against BenchmarkEpochLoop to read
+// the durability tax; BenchmarkEpochLoop itself must not move (a nil
+// journal is a nil check on the hot path, nothing more).
+func BenchmarkEpochLoopDurable(b *testing.B) {
+	for _, window := range []int{1, 16} {
+		b.Run(fmt.Sprintf("fsync-every-%d", window), func(b *testing.B) {
+			b.ReportAllocs()
+			j, rec, err := journal.Open(b.TempDir(), journal.Options{FsyncEvery: window})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !rec.Empty() {
+				b.Fatal("fresh journal dir is not empty")
+			}
+			defer j.Close()
+			ex, err := market.NewExchange(benchPlanetFleet(b, 0, 1),
+				market.Config{InitialBudget: 1e12, Journal: j})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				if err := ex.OpenAccount(benchName("bt", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchEpochLoop(b, ex)
+		})
+	}
+}
+
+// benchEpochLoop drives the shared submit-then-drain pipeline for the
+// epoch-loop benchmarks against an already-built planet exchange.
+func benchEpochLoop(b *testing.B, ex *market.Exchange) {
 	loop, err := market.NewLoop(ex, time.Millisecond)
 	if err != nil {
 		b.Fatal(err)

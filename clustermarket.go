@@ -30,6 +30,7 @@
 package clustermarket
 
 import (
+	"fmt"
 	"time"
 
 	"clustermarket/internal/bidlang"
@@ -37,6 +38,7 @@ import (
 	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
 	"clustermarket/internal/invariant"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/optimize"
 	"clustermarket/internal/reserve"
@@ -258,6 +260,65 @@ func NewFederation(regions ...*Region) (*Federation, error) {
 // planet-wide market summary with per-region drill-downs under
 // /region/<name>/.
 func NewFederatedWebUI(f *Federation) *webui.FedServer { return webui.NewFederated(f) }
+
+// Durable event log and crash recovery (beyond the paper; see the
+// "Event log & durability" section of DESIGN.md). An Exchange built with
+// ExchangeConfig.Journal set writes every state change to an append-only
+// WAL before applying it, and periodically snapshots; after a crash,
+// OpenJournal returns the surviving snapshot-plus-tail and
+// RecoverExchange deterministically replays it into a fresh exchange.
+type (
+	// Journal is the append-only write-ahead log: CRC-framed records in
+	// segment files, group-commit fsync, snapshot-and-truncate.
+	Journal = journal.Journal
+	// JournalOptions tunes a journal, chiefly the group-commit window
+	// (FsyncEvery: how many appended batches may share one fsync).
+	JournalOptions = journal.Options
+	// JournalRecovery is everything that survived on disk: the newest
+	// intact snapshot and the record tail appended after it.
+	JournalRecovery = journal.Recovery
+)
+
+// OpenJournal opens (or creates) the journal in dir, locking it against
+// concurrent opens, and scans what survived. A torn tail — a record cut
+// mid-write by the crash — is truncated, never replayed.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, *JournalRecovery, error) {
+	return journal.Open(dir, opts)
+}
+
+// RecoverExchange rebuilds an exchange from a journal recovery: snapshot
+// restore, tail replay, then the full invariant check — a recovery that
+// would serve a corrupt book (unbalanced ledger, negative balance,
+// over-committed capacity) fails instead of starting. The fleet must be
+// rebuilt by the caller exactly as the crashed process built it; fleet
+// construction is configuration, not market state, so it is not
+// journaled. cfg.Journal should be the freshly reopened journal so the
+// recovered exchange continues appending where the crashed one stopped.
+func RecoverExchange(f *Fleet, cfg ExchangeConfig, rec *JournalRecovery) (*Exchange, error) {
+	ex, err := market.Recover(f, cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	if vs := invariant.CheckExchange(ex); len(vs) > 0 {
+		return nil, fmt.Errorf("clustermarket: recovered exchange violates %d invariant(s); first: %s", len(vs), vs[0])
+	}
+	return ex, nil
+}
+
+// RecoverRegion is RecoverExchange for one federated region: the
+// recovered exchange keeps the region's product namespace. Each region
+// journals its own book; recover every region, then reassemble the
+// federation with NewFederation and restore the router's own journal.
+func RecoverRegion(name string, f *Fleet, cfg ExchangeConfig, rec *JournalRecovery) (*Region, error) {
+	r, err := federation.RecoverRegion(name, f, cfg, rec)
+	if err != nil {
+		return nil, err
+	}
+	if vs := invariant.CheckExchange(r.Exchange()); len(vs) > 0 {
+		return nil, fmt.Errorf("clustermarket: recovered region %q violates %d invariant(s); first: %s", name, len(vs), vs[0])
+	}
+	return r, nil
+}
 
 // Explicitly-optimizing allocation (Section III.C.4 / VI future work).
 type (

@@ -20,8 +20,19 @@
 // different stripes never shares a lock, so the web tier's submit path
 // scales with CPUs.
 //
+// With -journal-dir set, every settlement-relevant state change is
+// journaled to a durable WAL before it takes effect (-fsync-every sets
+// the group-commit window). Restarting marketd against the same
+// directory — with the same world flags (-clusters, -machines, -seed,
+// -budget, -regions) — recovers the books exactly where the previous
+// process left them, verifying the shared invariant kernel before
+// serving. A directory already held by a live process is refused at
+// startup (the journal's lockfile), so two marketds cannot interleave
+// writes to one WAL.
+//
 // marketd shuts down cleanly on SIGINT/SIGTERM: the epoch loops are
-// cancelled and the HTTP server drains in-flight requests before exit.
+// cancelled, the HTTP server drains in-flight requests, and the journal
+// is flushed, fsynced, and unlocked before exit.
 package main
 
 import (
@@ -35,12 +46,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
+	"clustermarket/internal/invariant"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/webui"
 )
@@ -63,6 +77,10 @@ func main() {
 		"order/account book stripes per exchange (0 selects the default); submits in different stripes never share a lock")
 	engineName := flag.String("engine", "incremental",
 		"clock-auction engine: incremental (O(affected bidders) per round) or dense (reference path)")
+	journalDir := flag.String("journal-dir", "",
+		"durable journal directory: state changes hit the WAL before taking effect, and a restart recovers the books (world flags must match the previous run)")
+	fsyncEvery := flag.Int("fsync-every", 1,
+		"journal group-commit window: fsync the WAL after every N appended records")
 	flag.Parse()
 
 	if err := validateFlags(*clusters, *machines, *regions, *shards, *budget, *epoch); err != nil {
@@ -81,11 +99,15 @@ func main() {
 	defer stop()
 
 	var handler http.Handler
+	// closeJournal flushes, fsyncs, and unlocks the journal(s) after the
+	// HTTP server has drained — the durability half of graceful shutdown.
+	closeJournal := func() error { return nil }
 	if *regions > 0 {
-		fed, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards)
+		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
+		closeJournal = closer
 		if *epoch > 0 {
 			go fed.Serve(ctx, *epoch)
 			log.Printf("marketd: %d region epoch loops settling every %s", *regions, *epoch)
@@ -95,10 +117,11 @@ func main() {
 		handler = webui.NewFederated(fed)
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards)
+		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
+		closeJournal = closer
 		if *epoch > 0 {
 			loop, err := market.NewLoop(ex, *epoch)
 			if err != nil {
@@ -122,7 +145,11 @@ func main() {
 	}
 
 	if err := serve(ctx, *addr, handler); err != nil {
+		closeJournal()
 		log.Fatal("marketd: ", err)
+	}
+	if err := closeJournal(); err != nil {
+		log.Fatal("marketd: closing journal: ", err)
 	}
 	log.Printf("marketd: shut down cleanly")
 }
@@ -246,51 +273,174 @@ func buildRegionFleet(rng *rand.Rand, prefix string, clusters, machines int, hot
 	return fleet, nil
 }
 
-func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int) (*market.Exchange, error) {
+// noClose is the journal-less closer: nothing to flush.
+func noClose() error { return nil }
+
+// buildDemo assembles the single-exchange demo world. With journalDir
+// set, the exchange journals every state change; if the directory holds
+// a previous run's journal, the books are recovered from it instead of
+// starting fresh (the world flags must match that run, since the fleet
+// is rebuilt deterministically from the seed, not journaled). Recovery
+// runs the shared invariant kernel before serving. The returned closer
+// flushes and unlocks the journal on shutdown.
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int) (*market.Exchange, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	ex, err := market.NewExchange(fleet, market.Config{InitialBudget: budget, Engine: engine, Shards: shards})
+	cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards}
+	if journalDir == "" {
+		ex, err := market.NewExchange(fleet, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ex, noClose, openDemoAccounts(ex.OpenAccount)
+	}
+	// A directory locked by a live marketd refuses to open — startup
+	// fails rather than interleaving two processes' writes in one WAL.
+	j, rec, err := journal.Open(journalDir, journal.Options{FsyncEvery: fsyncEvery})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	cfg.Journal = j
+	if rec.Empty() {
+		ex, err := market.NewExchange(fleet, cfg)
+		if err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		log.Printf("marketd: journaling to %s (fsync every %d records)", journalDir, fsyncEvery)
+		if err := openDemoAccounts(ex.OpenAccount); err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+		return ex, j.Close, nil
+	}
+	// The demo accounts were journaled when they were first opened, so
+	// recovery replays them — opening them again would double-book.
+	ex, err := market.Recover(fleet, cfg, rec)
+	if err != nil {
+		j.Close()
+		return nil, nil, fmt.Errorf("recovering %s: %w", journalDir, err)
+	}
+	if vs := invariant.CheckExchange(ex); len(vs) > 0 {
+		j.Close()
+		return nil, nil, fmt.Errorf("recovered books fail invariants (refusing to serve): %s", vs[0])
+	}
+	log.Printf("marketd: recovered %d auctions and %d teams from %s (snapshot seq %d, %d WAL records replayed)",
+		len(ex.History()), len(ex.Teams()), journalDir, rec.SnapshotSeq, len(rec.Records))
+	return ex, j.Close, nil
+}
+
+// openDemoAccounts funds the demo teams through the given opener.
+func openDemoAccounts(open func(team string) error) error {
 	for _, team := range demoTeams {
-		if err := ex.OpenAccount(team); err != nil {
-			return nil, err
+		if err := open(team); err != nil {
+			return err
 		}
 	}
-	return ex, nil
+	return nil
 }
+
+// fedSnapshotEvery is the router journal's snapshot cadence (in
+// settlements) for the federated demo.
+const fedSnapshotEvery = 64
 
 // buildFederatedDemo assembles N regional markets behind one federation.
 // The first region runs hot and the rest cold, so the global view shows
 // price contrast between regions and cross-region bids route away from
-// the hot region.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int) (*federation.Federation, error) {
+// the hot region. With journalDir set, each region journals its book to
+// journalDir/<region> and the router journals routing state to
+// journalDir/fed; a directory holding a previous run recovers every
+// member to the same cut — all-or-nothing, since a half-recovered
+// federation would desynchronize routing state from the regional books.
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int) (*federation.Federation, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
+	var journals []*journal.Journal
+	closeAll := func() error {
+		var first error
+		for _, j := range journals {
+			if err := j.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	recovered := 0
 	for i := 0; i < regions; i++ {
 		name := regionName(i)
 		fleet, err := buildRegionFleet(rng, name+"-", clusters, machines, i == 0)
 		if err != nil {
-			return nil, err
+			closeAll()
+			return nil, nil, err
 		}
-		r, err := federation.NewRegion(name, fleet, market.Config{InitialBudget: budget, Engine: engine, Shards: shards})
+		cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards}
+		var rec *journal.Recovery
+		if journalDir != "" {
+			var j *journal.Journal
+			j, rec, err = journal.Open(filepath.Join(journalDir, name), journal.Options{FsyncEvery: fsyncEvery})
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			journals = append(journals, j)
+			cfg.Journal = j
+		}
+		var r *federation.Region
+		if rec != nil && !rec.Empty() {
+			r, err = federation.RecoverRegion(name, fleet, cfg, rec)
+			recovered++
+		} else {
+			r, err = federation.NewRegion(name, fleet, cfg)
+		}
 		if err != nil {
-			return nil, err
+			closeAll()
+			return nil, nil, err
 		}
 		rs = append(rs, r)
 	}
 	fed, err := federation.NewFederation(rs...)
 	if err != nil {
-		return nil, err
+		closeAll()
+		return nil, nil, err
 	}
-	for _, team := range demoTeams {
-		if err := fed.OpenAccount(team); err != nil {
-			return nil, err
+	if journalDir != "" {
+		fj, frec, err := journal.Open(filepath.Join(journalDir, "fed"), journal.Options{FsyncEvery: fsyncEvery})
+		if err != nil {
+			closeAll()
+			return nil, nil, err
 		}
+		journals = append(journals, fj)
+		if !frec.Empty() {
+			if err := fed.Restore(frec); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			recovered++
+		}
+		fed.AttachJournal(fj, fedSnapshotEvery)
 	}
-	return fed, nil
+	if recovered > 0 && recovered != regions+1 {
+		closeAll()
+		return nil, nil, fmt.Errorf("partial journal state in %s: %d of %d journals hold history (refusing a half-recovered federation)",
+			journalDir, recovered, regions+1)
+	}
+	if recovered > 0 {
+		if vs := invariant.CheckFederation(fed); len(vs) > 0 {
+			closeAll()
+			return nil, nil, fmt.Errorf("recovered federation fails invariants (refusing to serve): %s", vs[0])
+		}
+		log.Printf("marketd: recovered %d regions and routing state from %s", regions, journalDir)
+		return fed, closeAll, nil
+	}
+	if err := openDemoAccounts(fed.OpenAccount); err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	if journalDir != "" {
+		log.Printf("marketd: journaling %d regions and routing state under %s", regions, journalDir)
+	}
+	return fed, closeAll, nil
 }

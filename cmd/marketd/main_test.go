@@ -14,7 +14,7 @@ import (
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0)
+	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0); err == nil {
+	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
@@ -99,7 +99,7 @@ func TestValidateFlags(t *testing.T) {
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2)
+	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0)
+	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,5 +193,90 @@ func TestParseEngine(t *testing.T) {
 	}
 	if _, err := parseEngine("warp"); err == nil {
 		t.Error("unknown engine accepted")
+	}
+}
+
+// TestJournaledDemoRecovers restarts the journaled demo world and
+// requires the books to come back exactly: same auctions, same teams,
+// same balances. It also pins the startup refusal on a locked journal
+// directory — the flock a live marketd holds.
+func TestJournaledDemoRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.SubmitProduct("search", "batch-compute", 2, []string{"r1", "r2"}, 4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.SubmitProduct("ads", "batch-compute", 1, []string{"r2"}, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+	wantHistory := len(ex.History())
+	wantBalance, err := ex.Balance("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// While the first process holds the directory, a second must refuse.
+	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1); err == nil {
+		t.Fatal("second marketd opened a locked journal dir")
+	}
+
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+
+	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer closer2()
+	if got := len(ex2.History()); got != wantHistory {
+		t.Errorf("recovered %d auctions, want %d", got, wantHistory)
+	}
+	if got := len(ex2.Teams()); got != len(demoTeams) {
+		t.Errorf("recovered %d teams, want %d", got, len(demoTeams))
+	}
+	gotBalance, err := ex2.Balance("search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotBalance != wantBalance {
+		t.Errorf("recovered balance %v, want %v", gotBalance, wantBalance)
+	}
+}
+
+// TestJournaledFederatedDemoRecovers restarts the journaled federated
+// demo: every region and the router recover to the same cut.
+func TestJournaledFederatedDemoRecovers(t *testing.T) {
+	dir := t.TempDir()
+	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.SubmitProduct("search", "batch-compute", 1, []string{"us-r1", "eu-r1"}, 2000); err != nil {
+		t.Fatal(err)
+	}
+	fed.Tick()
+	wantStats := fed.Stats()
+	wantOrders := len(fed.Orders())
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+
+	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer closer2()
+	if got := fed2.Stats(); got != wantStats {
+		t.Errorf("recovered stats %+v, want %+v", got, wantStats)
+	}
+	if got := len(fed2.Orders()); got != wantOrders {
+		t.Errorf("recovered %d orders, want %d", got, wantOrders)
 	}
 }

@@ -5,17 +5,25 @@
 //
 //	marketsim -scenario all -backend both -seed 42 -epochs 10 -regions 3
 //
+// With -journal-dir set, each run is repeated on a journaled backend and
+// its fingerprint must match the in-memory baseline bit for bit; with
+// -crash-epoch N the journaled run is additionally killed without
+// flushing before epoch N's settlement wave and resurrected from its
+// WAL — the crash-recovery soak. Any fingerprint divergence exits 3.
+//
 // Exit codes:
 //
 //	0 — every run completed with every invariant intact
 //	1 — usage error or engine failure
 //	2 — an invariant was violated (the soak's reason to exist)
+//	3 — a journaled or crash-recovered run diverged from its baseline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
@@ -26,6 +34,7 @@ const (
 	exitOK        = 0
 	exitUsage     = 1
 	exitInvariant = 2
+	exitDiverged  = 3
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -41,7 +50,17 @@ func run(args []string, stdout, stderr *os.File) int {
 	regions := fs.Int("regions", 0, "regions in the world (0 uses the default)")
 	teams := fs.Int("teams", 0, "bidder population size (0 uses the default)")
 	verbose := fs.Bool("v", false, "print the per-epoch table for every run")
+	journalDir := fs.String("journal-dir", "",
+		"repeat each run on a journaled backend under this directory and require fingerprint equality with the in-memory baseline")
+	fsyncEvery := fs.Int("fsync-every", 1, "journal group-commit window for the journaled runs")
+	snapshotEvery := fs.Int("snapshot-every", 3, "journal snapshot cadence for the journaled runs")
+	crashEpoch := fs.Int("crash-epoch", 0,
+		"kill-and-resurrect the journaled run before this epoch's settlement wave (requires -journal-dir)")
 	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *crashEpoch > 0 && *journalDir == "" {
+		fmt.Fprintln(stderr, "marketsim: -crash-epoch requires -journal-dir")
 		return exitUsage
 	}
 
@@ -68,15 +87,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	cfg := scenario.Config{Seed: *seed, Epochs: *epochs, Regions: *regions, Teams: *teams}
-	violations := 0
+	violations, diverged := 0, 0
 	for _, sc := range scenarios {
 		for _, kind := range kinds {
-			b, err := scenario.NewBackend(kind, cfg)
-			if err != nil {
-				fmt.Fprintf(stderr, "marketsim: %s/%s: %v\n", sc.Name, kind, err)
-				return exitUsage
-			}
-			rep, err := scenario.Run(sc, b, cfg)
+			rep, err := runOne(sc, kind, cfg)
 			if err != nil {
 				fmt.Fprintf(stderr, "marketsim: %s/%s: %v\n", sc.Name, kind, err)
 				return exitUsage
@@ -86,13 +100,61 @@ func run(args []string, stdout, stderr *os.File) int {
 				fmt.Fprintf(stderr, "marketsim: INVARIANT VIOLATED: %s/%s: %s\n", sc.Name, kind, v)
 			}
 			violations += len(rep.Violations)
+
+			if *journalDir == "" {
+				continue
+			}
+			// The durable rerun: same scenario, same seed, journaled — and
+			// optionally power-cycled mid-run. Its fingerprint must match
+			// the in-memory baseline bit for bit.
+			jcfg := cfg
+			jcfg.JournalDir = filepath.Join(*journalDir, sc.Name+"-"+kind)
+			jcfg.FsyncEvery = *fsyncEvery
+			jcfg.SnapshotEvery = *snapshotEvery
+			jcfg.CrashEpoch = *crashEpoch
+			jrep, err := runOne(sc, kind, jcfg)
+			if err != nil {
+				fmt.Fprintf(stderr, "marketsim: %s/%s (journaled): %v\n", sc.Name, kind, err)
+				return exitUsage
+			}
+			for _, v := range jrep.Violations {
+				fmt.Fprintf(stderr, "marketsim: INVARIANT VIOLATED: %s/%s (journaled): %s\n", sc.Name, kind, v)
+			}
+			violations += len(jrep.Violations)
+			label := "journaled"
+			if *crashEpoch > 0 {
+				label = fmt.Sprintf("journaled, crashed at epoch %d", *crashEpoch)
+			}
+			if jrep.Fingerprint() != rep.Fingerprint() {
+				fmt.Fprintf(stderr, "marketsim: DIVERGED: %s/%s (%s): fingerprint %s, baseline %s\n",
+					sc.Name, kind, label, jrep.Fingerprint()[:16], rep.Fingerprint()[:16])
+				diverged++
+			} else {
+				fmt.Fprintf(stdout, "%-18s %-10s %s run matches baseline fingerprint %s\n",
+					sc.Name, kind, label, rep.Fingerprint()[:16])
+			}
 		}
 	}
 	if violations > 0 {
 		fmt.Fprintf(stderr, "marketsim: %d invariant violation(s)\n", violations)
 		return exitInvariant
 	}
+	if diverged > 0 {
+		fmt.Fprintf(stderr, "marketsim: %d run(s) diverged from baseline\n", diverged)
+		return exitDiverged
+	}
 	return exitOK
+}
+
+// runOne builds the backend for cfg, drives the scenario, and releases
+// the backend's journals.
+func runOne(sc *scenario.Scenario, kind string, cfg scenario.Config) (*scenario.Report, error) {
+	b, err := scenario.NewBackend(kind, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	return scenario.Run(sc, b, cfg)
 }
 
 func printReport(w *os.File, rep *scenario.Report, verbose bool) {

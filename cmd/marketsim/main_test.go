@@ -44,3 +44,27 @@ func TestUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestCrashRecoverySoak(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	args := []string{"-scenario", "crash-recovery", "-backend", "both", "-seed", "42",
+		"-journal-dir", t.TempDir(), "-crash-epoch", "4"}
+	if code := run(args, devnull, devnull); code != exitOK {
+		t.Fatalf("exit code = %d, want %d", code, exitOK)
+	}
+}
+
+func TestCrashEpochRequiresJournalDir(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-crash-epoch", "3"}, devnull, devnull); code != exitUsage {
+		t.Fatalf("exit code = %d, want %d", code, exitUsage)
+	}
+}

@@ -220,6 +220,62 @@ func (c *Cluster) Place(t Task) error {
 	return nil
 }
 
+// TaskInfo returns the placed task with the given ID and the ID of the
+// machine hosting it, or ok=false when the task is unknown.
+func (c *Cluster) TaskInfo(id string) (t Task, machineID int, ok bool) {
+	m, found := c.taskHome[id]
+	if !found {
+		return Task{}, 0, false
+	}
+	return m.tasks[id], m.ID, true
+}
+
+// PlaceAt places a task directly onto the identified machine, bypassing
+// the scheduler — the snapshot-restore path uses it to pin recovered
+// tasks to the machines they originally landed on, so a rebuilt fleet
+// is machine-for-machine identical to the one that crashed. The fit
+// check tolerates a float-epsilon overshoot: the restored accumulator is
+// corrected by SetMachineUsed afterwards.
+func (c *Cluster) PlaceAt(machineID int, t Task) error {
+	if !t.Req.NonNegative() {
+		return fmt.Errorf("cluster: task %q has negative requirements", t.ID)
+	}
+	if _, ok := c.taskHome[t.ID]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTask, t.ID)
+	}
+	for _, m := range c.machines {
+		if m.ID != machineID {
+			continue
+		}
+		slack := m.Free().Sub(t.Req)
+		const eps = 1e-6
+		if slack.CPU < -eps || slack.RAM < -eps || slack.Disk < -eps {
+			return fmt.Errorf("%w: task %q (%v) on machine %d of cluster %s",
+				ErrNoFit, t.ID, t.Req, machineID, c.Name)
+		}
+		m.place(t)
+		c.taskHome[t.ID] = m
+		return nil
+	}
+	return fmt.Errorf("cluster: no machine %d in cluster %s", machineID, c.Name)
+}
+
+// SetMachineUsed overwrites a machine's committed-usage accumulator.
+// The accumulator is a float sum whose exact value depends on the
+// historical add/evict order, not just the surviving tasks — so a
+// restored fleet must adopt the recorded accumulator verbatim, or
+// utilization (and with it reserve prices) drifts by an ulp from the
+// process that crashed.
+func (c *Cluster) SetMachineUsed(machineID int, u Usage) error {
+	for _, m := range c.machines {
+		if m.ID == machineID {
+			m.used = u
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: no machine %d in cluster %s", machineID, c.Name)
+}
+
 // Evict removes a task by ID, returning false when it is unknown.
 func (c *Cluster) Evict(id string) bool {
 	m, ok := c.taskHome[id]

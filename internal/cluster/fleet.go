@@ -132,6 +132,15 @@ func (f *Fleet) ScheduleTask(team, clusterName string, req Usage) (string, error
 	return id, nil
 }
 
+// TaskSeq returns the fleet's task-ID counter: the next generated task
+// will be "task-<TaskSeq>".
+func (f *Fleet) TaskSeq() int { return f.nextTask }
+
+// SetTaskSeq sets the task-ID counter — the snapshot-restore path uses
+// it so a recovered fleet resumes generating exactly the IDs the
+// original would have.
+func (f *Fleet) SetTaskSeq(n int) { f.nextTask = n }
+
 // PlaceAllocationChunked schedules the positive part of a settled
 // allocation onto the fleet as machine-sized chunks — the placement
 // model every market driver shares (sim worlds, federated migration,
@@ -282,6 +291,33 @@ func (l *QuotaLedger) Teams() []string {
 		out = append(out, t)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// GrantRow is one (team, cluster, quota) entry of the ledger.
+type GrantRow struct {
+	Team    string
+	Cluster string
+	Quota   Usage
+}
+
+// Grants returns every grant as rows sorted by team then cluster — the
+// deterministic enumeration snapshots persist.
+func (l *QuotaLedger) Grants() []GrantRow {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []GrantRow
+	for team, byCluster := range l.grants {
+		for cl, q := range byCluster {
+			out = append(out, GrantRow{Team: team, Cluster: cl, Quota: q})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Team != out[j].Team {
+			return out[i].Team < out[j].Team
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
 	return out
 }
 

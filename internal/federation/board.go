@@ -31,6 +31,9 @@ func (f *Federation) Gossip() int {
 	f.mu.Lock()
 	tick := f.gossipTick + 1
 	f.gossipTick = tick
+	if f.journalingLocked() {
+		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: tick})
+	}
 	f.mu.Unlock()
 
 	// Quotes read region exchanges without holding f.mu: gossip must not
@@ -46,6 +49,11 @@ func (f *Federation) Gossip() int {
 		f.mu.Lock()
 		if cur, ok := f.board[r.name]; !ok || cur.Tick <= tick {
 			f.board[r.name] = q
+			// Journaled after the fact it was accepted: replay re-applies
+			// exactly the board updates that happened, in order.
+			if f.journalingLocked() {
+				f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: tick, Quote: &q})
+			}
 		}
 		f.mu.Unlock()
 	}
@@ -61,6 +69,9 @@ func (f *Federation) gossipRegionLocked(r *Region) {
 		return
 	}
 	f.board[r.name] = q
+	if f.journalingLocked() {
+		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick, Quote: &q})
+	}
 }
 
 // Board returns a snapshot of the price board sorted by region name.

@@ -1,0 +1,116 @@
+package federation
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clustermarket/internal/market"
+)
+
+// Federation event kinds. Like the market's event stream, federation
+// events record routing *results* — the wholesale order state after a
+// decision, the quote a gossip pass produced — so replay is pure
+// bookkeeping: no leg is resubmitted, no region re-settled, no quote
+// recomputed.
+const (
+	// EvFedOrderSubmitted registers a routed order (legs priced and
+	// ordered, first leg already booked in its region).
+	EvFedOrderSubmitted = "fed-order-submitted"
+	// EvFedOrderUpdated replaces an order's routing state wholesale after
+	// an advance (win, failover, retirement) or a cancellation.
+	EvFedOrderUpdated = "fed-order-updated"
+	// EvFedGossip advances the gossip tick and, when Quote is present,
+	// publishes one region's quote to the price board.
+	EvFedGossip = "fed-gossip"
+)
+
+// fedEvent is the single flat record type for the federation journal.
+// Order snapshots are deep copies, so adopting a decoded one at replay
+// shares nothing with other state. Stats rides along as the full
+// post-mutation counter set — carrying the absolute values instead of
+// deltas keeps replay idempotent per event.
+type fedEvent struct {
+	Kind  string    `json:"k"`
+	Order *FedOrder `json:"order,omitempty"`
+	Stats *Stats    `json:"stats,omitempty"`
+	Tick  int       `json:"tick,omitempty"`
+	Quote *Quote    `json:"quote,omitempty"`
+}
+
+// logEventLocked appends the event to the federation journal, if one is
+// attached. Callers hold f.mu, so journal order matches mutation order.
+// Append failures are sticky (journalErr) and surfaced by the next
+// SettleRegion/SubmitProduct/Cancel — advance paths deep in the router
+// have no error return to thread one through.
+func (f *Federation) logEventLocked(ev *fedEvent) {
+	if f.journal == nil || f.journalErr != nil {
+		return
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		f.journalErr = fmt.Errorf("federation: encode %s event: %w", ev.Kind, err)
+		return
+	}
+	if _, err := f.journal.Append(raw); err != nil {
+		f.journalErr = fmt.Errorf("federation: journal %s event: %w", ev.Kind, err)
+	}
+}
+
+// journalingLocked reports whether events are worth materializing at
+// all. Call sites check it before building a fedEvent so that the
+// in-memory federation (nil journal) pays one branch on its hot paths —
+// not an order deep-copy, a stats copy, and an event allocation that
+// logEventLocked would immediately discard. Callers must hold f.mu.
+func (f *Federation) journalingLocked() bool {
+	return f.journal != nil && f.journalErr == nil
+}
+
+// applyEvent is the deterministic mutator replay dispatches through.
+// Callers hold f.mu (or run single-threaded during recovery).
+func (f *Federation) applyEvent(ev *fedEvent) error {
+	switch ev.Kind {
+	case EvFedOrderSubmitted:
+		if ev.Order == nil || ev.Stats == nil {
+			return fmt.Errorf("federation: replay: malformed %s event", ev.Kind)
+		}
+		fo := ev.Order
+		if fo.ID != f.nextID {
+			return fmt.Errorf("federation: replay: order %d out of sequence (next is %d)", fo.ID, f.nextID)
+		}
+		f.nextID = fo.ID + 1
+		f.orders = append(f.orders, fo)
+		f.byID[fo.ID] = fo
+		if fo.Status == market.Open && fo.Active >= 0 {
+			f.trackLocked(fo)
+		}
+		f.stats = *ev.Stats
+		return nil
+	case EvFedOrderUpdated:
+		if ev.Order == nil || ev.Stats == nil {
+			return fmt.Errorf("federation: replay: malformed %s event", ev.Kind)
+		}
+		fo, ok := f.byID[ev.Order.ID]
+		if !ok {
+			return fmt.Errorf("federation: replay: no order %d", ev.Order.ID)
+		}
+		*fo = *ev.Order
+		f.stats = *ev.Stats
+		for _, byID := range f.open {
+			delete(byID, fo.ID)
+		}
+		if fo.Status == market.Open && fo.Active >= 0 {
+			f.trackLocked(fo)
+		}
+		return nil
+	case EvFedGossip:
+		if ev.Tick > f.gossipTick {
+			f.gossipTick = ev.Tick
+		}
+		if ev.Quote != nil {
+			f.board[ev.Quote.Region] = *ev.Quote
+		}
+		return nil
+	default:
+		return fmt.Errorf("federation: unknown event kind %q", ev.Kind)
+	}
+}

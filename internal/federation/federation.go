@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
 )
@@ -123,6 +124,14 @@ type Federation struct {
 	// the orders actually waiting on it rather than every order ever
 	// routed.
 	open map[string]map[int]*FedOrder
+
+	// journal, when attached, receives every routing state change as an
+	// event (see event.go); the regions journal their own books
+	// separately. All guarded by mu.
+	journal       *journal.Journal
+	journalErr    error
+	snapshotEvery int
+	settleCount   int
 }
 
 // NewFederation assembles regions into one federated market. Region
@@ -288,7 +297,15 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 		f.stats.CrossRegion++
 	}
 	snap := fo.snapshot()
+	if f.journalingLocked() {
+		stats := f.stats
+		f.logEventLocked(&fedEvent{Kind: EvFedOrderSubmitted, Order: snap, Stats: &stats})
+	}
+	logErr := f.journalErr
 	f.mu.Unlock()
+	if logErr != nil {
+		return nil, logErr
+	}
 
 	// Reconcile the submit/settle race: if the region settled while the
 	// order was being registered, the normal OnTick advance ran too early
@@ -374,10 +391,13 @@ func (f *Federation) advanceRegion(name string) {
 			continue
 		}
 		leg.Status = o.Status
+		changed := true
 		switch o.Status {
 		case market.Open:
 			// The region's clock did not converge; the leg stays booked
-			// for the region's next epoch.
+			// for the region's next epoch. Nothing moved, so nothing is
+			// journaled.
+			changed = false
 		case market.Won:
 			fo.Status = market.Won
 			fo.Active = -1
@@ -404,6 +424,14 @@ func (f *Federation) advanceRegion(name string) {
 			fo.Active = -1
 			delete(f.open[name], id)
 		}
+		if changed && f.journalingLocked() {
+			// The event carries the wholesale post-advance order state (a
+			// failover's new leg booking included) plus the absolute router
+			// counters, so replay reproduces this advance without touching
+			// the region.
+			stats := f.stats
+			f.logEventLocked(&fedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
+		}
 	}
 }
 
@@ -428,7 +456,11 @@ func (f *Federation) Cancel(id int) error {
 	fo.Status = market.Cancelled
 	fo.Active = -1
 	delete(f.open[leg.Region], fo.ID)
-	return nil
+	if f.journalingLocked() {
+		stats := f.stats
+		f.logEventLocked(&fedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
+	}
+	return f.journalErr
 }
 
 // Order returns a snapshot of one federated order.
@@ -493,9 +525,28 @@ func (f *Federation) SettleRegion(name string) (*market.AuctionRecord, error) {
 	rec, _, err := r.ex.RunAuction()
 	f.mu.Lock()
 	f.gossipTick++
+	// The bare tick event keeps the recovered gossip clock in step even
+	// when the quote itself cannot be refreshed.
+	if f.journalingLocked() {
+		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
+	}
 	f.gossipRegionLocked(r)
 	f.mu.Unlock()
 	f.advanceRegion(name)
+
+	f.mu.Lock()
+	f.settleCount++
+	snapshotDue := f.journal != nil && f.snapshotEvery > 0 && f.settleCount%f.snapshotEvery == 0
+	logErr := f.journalErr
+	f.mu.Unlock()
+	if logErr != nil {
+		return rec, logErr
+	}
+	if snapshotDue {
+		if serr := f.Snapshot(); serr != nil {
+			return rec, serr
+		}
+	}
 	return rec, err
 }
 
@@ -544,6 +595,9 @@ func (f *Federation) Serve(ctx context.Context, epoch time.Duration) error {
 		loop.OnTick = func(rec *market.AuctionRecord, err error) {
 			f.mu.Lock()
 			f.gossipTick++
+			if f.journalingLocked() {
+				f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
+			}
 			f.gossipRegionLocked(region)
 			f.mu.Unlock()
 			f.advanceRegion(region.name)

@@ -1,0 +1,114 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"clustermarket/internal/journal"
+	"clustermarket/internal/market"
+)
+
+// fedState is the JSON snapshot of the federation's routing state: the
+// order table, price board, gossip clock, and router counters. The
+// regional exchanges are NOT part of the image — each region journals
+// its own book (see market.Snapshot) and is recovered separately before
+// the federation is reassembled on top.
+type fedState struct {
+	NextID     int         `json:"next_id"`
+	GossipTick int         `json:"gossip_tick"`
+	Stats      Stats       `json:"stats"`
+	Board      []Quote     `json:"board,omitempty"`
+	Orders     []*FedOrder `json:"orders,omitempty"`
+}
+
+// AttachJournal attaches the routing journal. Every subsequent routing
+// state change is logged as a fedEvent before SettleRegion returns, and
+// a snapshot is written every snapshotEvery settlements (non-positive
+// disables the cadence; Snapshot can still be called explicitly). When
+// recovering, call Restore first so replayed events are not re-journaled
+// as new ones.
+func (f *Federation) AttachJournal(j *journal.Journal, snapshotEvery int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.journal = j
+	f.snapshotEvery = snapshotEvery
+}
+
+// Snapshot writes a consistent snapshot of the routing state to the
+// attached journal and rotates its WAL, bounding recovery replay. Every
+// routing mutation and its event append happen under f.mu, so the image
+// built here corresponds exactly to the journal's sequence number. It is
+// a no-op without a journal.
+func (f *Federation) Snapshot() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.journal == nil {
+		return nil
+	}
+	st := &fedState{NextID: f.nextID, GossipTick: f.gossipTick, Stats: f.stats}
+	for _, q := range f.board {
+		c := q
+		c.Prices = append([]float64(nil), q.Prices...)
+		st.Board = append(st.Board, c)
+	}
+	sort.Slice(st.Board, func(i, j int) bool { return st.Board[i].Region < st.Board[j].Region })
+	st.Orders = make([]*FedOrder, len(f.orders))
+	for i, fo := range f.orders {
+		st.Orders[i] = fo.snapshot()
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("federation: encode snapshot: %w", err)
+	}
+	return f.journal.Snapshot(raw)
+}
+
+// Restore loads a routing journal recovery into a freshly assembled
+// federation: the snapshot image (if any) first, then a deterministic
+// replay of the WAL tail through applyEvent. The member regions must
+// already have been recovered to the same cut (their own journals are
+// written in lockstep with this one — every routing event follows the
+// regional mutations it records). Call before AttachJournal and before
+// the federation is shared.
+func (f *Federation) Restore(rec *journal.Recovery) error {
+	if rec == nil {
+		return errors.New("federation: Restore: nil recovery")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.orders) != 0 || f.nextID != 0 {
+		return errors.New("federation: Restore: federation already has routing state")
+	}
+	if len(rec.Snapshot) > 0 {
+		var st fedState
+		if err := json.Unmarshal(rec.Snapshot, &st); err != nil {
+			return fmt.Errorf("federation: decode snapshot: %w", err)
+		}
+		f.nextID = st.NextID
+		f.gossipTick = st.GossipTick
+		f.stats = st.Stats
+		for _, q := range st.Board {
+			f.board[q.Region] = q
+		}
+		f.orders = st.Orders
+		for _, fo := range f.orders {
+			f.byID[fo.ID] = fo
+			if fo.Status == market.Open && fo.Active >= 0 {
+				f.trackLocked(fo)
+			}
+		}
+	}
+	for i, raw := range rec.Records {
+		seq := rec.SnapshotSeq + uint64(i) + 1
+		var ev fedEvent
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("federation: decode record at seq %d: %w", seq, err)
+		}
+		if err := f.applyEvent(&ev); err != nil {
+			return fmt.Errorf("federation: replay record at seq %d: %w", seq, err)
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"clustermarket/internal/cluster"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
 )
@@ -45,6 +46,24 @@ func NewRegion(name string, fleet *cluster.Fleet, cfg market.Config) (*Region, e
 		return nil, errors.New("federation: empty region name")
 	}
 	ex, err := market.NewExchange(fleet, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("federation: region %q: %w", name, err)
+	}
+	return &Region{name: name, ex: ex}, nil
+}
+
+// RecoverRegion rebuilds a crashed region from its journal recovery: the
+// fleet must be reconstructed to its as-built state by the caller (it is
+// not journaled), and cfg must match the crashed process's configuration.
+// The recovery's snapshot and WAL tail are replayed through the region
+// exchange's deterministic apply layer; cfg.Journal (if set) is attached
+// only after replay completes. Callers should run
+// invariant.CheckExchange on the recovered exchange before serving.
+func RecoverRegion(name string, fleet *cluster.Fleet, cfg market.Config, rec *journal.Recovery) (*Region, error) {
+	if name == "" {
+		return nil, errors.New("federation: empty region name")
+	}
+	ex, err := market.Recover(fleet, cfg, rec)
 	if err != nil {
 		return nil, fmt.Errorf("federation: region %q: %w", name, err)
 	}

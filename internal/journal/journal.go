@@ -1,0 +1,505 @@
+// Package journal is the durability layer under the event-sourced
+// exchange: an append-only write-ahead log of framed event records plus
+// a periodically rewritten snapshot, stored together in one directory.
+//
+// Layout and protocol:
+//
+//   - LOCK — a flock(2)-held lockfile. Open refuses the directory while
+//     another live process holds it; the kernel releases the lock when
+//     the holder dies, so a crashed process never wedges recovery.
+//   - wal — the write-ahead log: a 14-byte header (magic "JRNL1\n" plus
+//     the little-endian sequence number of the first record) followed by
+//     length+CRC framed records: [uint32 len][uint32 crc32(payload)]
+//     [payload]. Appends write() straight to the file descriptor — there
+//     is no userspace buffer — so a process kill loses nothing that was
+//     appended; an fsync policy (Options.FsyncEvery) bounds what power
+//     loss can take.
+//   - snapshot.json — {"seq": N, "state": …}: the caller's full state at
+//     sequence N, written tmp+rename+dir-fsync so it is atomically either
+//     the old or the new snapshot. After a durable snapshot the WAL is
+//     rotated: a fresh wal starting at N+1 replaces it, bounding replay.
+//
+// Recovery = snapshot + replay of the WAL tail. A torn tail — a partial
+// frame or a CRC mismatch, the signature of a mid-write crash — is
+// physically truncated to the last durable prefix and reported (with the
+// byte offset) in Recovery, never served; Open fails hard only when the
+// surviving files cannot reconstruct any consistent prefix (for
+// instance, a rotated WAL whose covering snapshot is unreadable).
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// walMagic begins every WAL file; the trailing newline makes `head -1`
+// on a journal identify itself.
+var walMagic = []byte("JRNL1\n")
+
+const walHeaderSize = 6 + 8 // magic + little-endian firstSeq
+
+// ErrClosed is returned by operations on a closed (or crashed) journal.
+var ErrClosed = errors.New("journal: closed")
+
+// Options tunes a Journal.
+type Options struct {
+	// FsyncEvery is the group-commit window: the WAL is fsynced after
+	// every FsyncEvery appended records. 1 (the default) fsyncs each
+	// append — full power-loss durability at full latency cost; larger
+	// windows amortize the fsync across a batch, bounding power loss to
+	// the window while a plain process crash still loses nothing.
+	FsyncEvery int
+}
+
+// Recovery is what Open found on disk: the latest durable snapshot (if
+// any) and the WAL records after it, in append order. Seq numbers are
+// 1-based; record i carries sequence SnapshotSeq+1+i.
+type Recovery struct {
+	// SnapshotSeq is the sequence the snapshot covers (0 = no snapshot).
+	SnapshotSeq uint64
+	// Snapshot is the caller state stored at SnapshotSeq, nil when none.
+	Snapshot []byte
+	// Records are the WAL payloads after the snapshot, in order.
+	Records [][]byte
+	// Truncated reports that a torn tail was cut back; TruncOffset is the
+	// byte offset of the first discarded byte and TruncReason says why.
+	Truncated   bool
+	TruncOffset int64
+	TruncReason string
+	// Notes collects non-fatal recovery observations (ignored snapshots,
+	// rebuilt WAL headers, truncations).
+	Notes []string
+}
+
+// Empty reports whether the directory held no durable state at all —
+// the fresh-start case callers use to decide whether to seed a world.
+func (r *Recovery) Empty() bool { return r.SnapshotSeq == 0 && len(r.Records) == 0 }
+
+// LastSeq returns the sequence number of the last recovered record.
+func (r *Recovery) LastSeq() uint64 { return r.SnapshotSeq + uint64(len(r.Records)) }
+
+// Journal is an open WAL + snapshot directory. All methods are safe for
+// concurrent use; Append order defines the global sequence order.
+type Journal struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	wal      *os.File
+	lock     *os.File
+	seq      uint64 // last assigned sequence number
+	unsynced int    // appends since the last fsync
+	dead     bool
+}
+
+type snapshotFile struct {
+	Seq   uint64          `json:"seq"`
+	State json.RawMessage `json:"state"`
+}
+
+// Open acquires the directory (creating it if needed), recovers its
+// durable state, and returns the journal positioned to append after the
+// recovered prefix. A second Open of the same directory by a live
+// process fails with a lockfile error.
+func Open(dir string, opts Options) (*Journal, *Recovery, error) {
+	if opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: create %s: %w", dir, err)
+	}
+	lock, err := acquireLock(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, opts: opts, lock: lock}
+	rec, err := j.recover()
+	if err != nil {
+		lock.Close()
+		return nil, nil, err
+	}
+	return j, rec, nil
+}
+
+// acquireLock flocks dir/LOCK exclusively, non-blocking. The lock dies
+// with the process, so stale lockfiles never block recovery.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open lockfile: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: directory %s is locked by another process (flock %s): %w", dir, path, err)
+	}
+	return f, nil
+}
+
+func (j *Journal) walPath() string  { return filepath.Join(j.dir, "wal") }
+func (j *Journal) snapPath() string { return filepath.Join(j.dir, "snapshot.json") }
+
+// recover loads the snapshot and WAL tail, repairing a torn tail, and
+// leaves j.wal open for appends.
+func (j *Journal) recover() (*Recovery, error) {
+	rec := &Recovery{}
+
+	// Snapshot: an unreadable file (empty, partial, corrupt JSON) is
+	// ignored with a note — recovery can still succeed from a full WAL.
+	var snapSeq uint64
+	if raw, err := os.ReadFile(j.snapPath()); err == nil {
+		var snap snapshotFile
+		if jerr := json.Unmarshal(raw, &snap); jerr != nil {
+			rec.Notes = append(rec.Notes, fmt.Sprintf("snapshot %s unreadable (%v); ignored", j.snapPath(), jerr))
+		} else {
+			snapSeq = snap.Seq
+			rec.SnapshotSeq = snap.Seq
+			rec.Snapshot = snap.State
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: read snapshot: %w", err)
+	}
+
+	data, err := os.ReadFile(j.walPath())
+	switch {
+	case os.IsNotExist(err):
+		if err := j.writeFreshWAL(snapSeq + 1); err != nil {
+			return nil, err
+		}
+		j.seq = snapSeq
+	case err != nil:
+		return nil, fmt.Errorf("journal: read wal: %w", err)
+	default:
+		firstSeq, payloads, goodLen, reason, perr := parseWAL(data)
+		if perr != nil {
+			return nil, fmt.Errorf("journal: wal %s: %w", j.walPath(), perr)
+		}
+		if goodLen < walHeaderSize {
+			// The header itself is torn (empty or partial file): nothing in
+			// this WAL is recoverable, so rebuild it after the snapshot.
+			rec.Truncated = true
+			rec.TruncOffset = goodLen
+			rec.TruncReason = reason
+			rec.Notes = append(rec.Notes, fmt.Sprintf("wal %s: %s; rebuilt empty at seq %d", j.walPath(), reason, snapSeq+1))
+			if err := j.writeFreshWAL(snapSeq + 1); err != nil {
+				return nil, err
+			}
+			j.seq = snapSeq
+			break
+		}
+		if reason != "" {
+			rec.Truncated = true
+			rec.TruncOffset = goodLen
+			rec.TruncReason = reason
+			rec.Notes = append(rec.Notes, fmt.Sprintf(
+				"wal %s: %s; truncated to last durable prefix (%d bytes, %d records)",
+				j.walPath(), reason, goodLen, len(payloads)))
+			if err := os.Truncate(j.walPath(), goodLen); err != nil {
+				return nil, fmt.Errorf("journal: truncate torn wal: %w", err)
+			}
+		}
+		if firstSeq > snapSeq+1 {
+			return nil, fmt.Errorf(
+				"journal: wal %s starts at seq %d but the latest durable snapshot covers only seq %d — records %d..%d are lost",
+				j.walPath(), firstSeq, snapSeq, snapSeq+1, firstSeq-1)
+		}
+		last := firstSeq + uint64(len(payloads)) - 1
+		if len(payloads) == 0 {
+			last = firstSeq - 1
+		}
+		for i, p := range payloads {
+			if firstSeq+uint64(i) <= snapSeq {
+				continue // already folded into the snapshot
+			}
+			rec.Records = append(rec.Records, p)
+		}
+		j.seq = last
+		if j.seq < snapSeq {
+			j.seq = snapSeq
+		}
+	}
+
+	f, err := os.OpenFile(j.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open wal for append: %w", err)
+	}
+	j.wal = f
+	return rec, nil
+}
+
+// parseWAL walks the framed records. It returns the parsed payloads,
+// the byte length of the valid prefix, and — when the file ends in a
+// torn or corrupt frame — a human reason naming the byte offset. A
+// foreign header (wrong magic) is a hard error.
+func parseWAL(data []byte) (firstSeq uint64, payloads [][]byte, goodLen int64, reason string, err error) {
+	if len(data) < walHeaderSize {
+		return 0, nil, int64(len(data)),
+			fmt.Sprintf("torn header: %d of %d bytes", len(data), walHeaderSize), nil
+	}
+	if !bytes.Equal(data[:len(walMagic)], walMagic) {
+		return 0, nil, 0, "", fmt.Errorf("bad magic %q (not a journal WAL)", data[:len(walMagic)])
+	}
+	firstSeq = binary.LittleEndian.Uint64(data[len(walMagic):walHeaderSize])
+	off := int64(walHeaderSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return firstSeq, payloads, off,
+				fmt.Sprintf("torn record frame at byte offset %d (%d trailing bytes)", off, len(rest)), nil
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if int64(n) > int64(len(rest))-8 {
+			return firstSeq, payloads, off,
+				fmt.Sprintf("torn record at byte offset %d (payload length %d, only %d bytes remain)", off, n, len(rest)-8), nil
+		}
+		payload := rest[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return firstSeq, payloads, off,
+				fmt.Sprintf("CRC mismatch at byte offset %d (record seq %d)", off, firstSeq+uint64(len(payloads))), nil
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += 8 + int64(n)
+	}
+	return firstSeq, payloads, off, "", nil
+}
+
+// writeFreshWAL creates an empty WAL whose first record will carry
+// firstSeq, via tmp+rename+dir-fsync so a crash leaves either the old
+// or the new file.
+func (j *Journal) writeFreshWAL(firstSeq uint64) error {
+	var hdr [walHeaderSize]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], firstSeq)
+	tmp := j.walPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: create wal: %w", err)
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write wal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close wal: %w", err)
+	}
+	if err := os.Rename(tmp, j.walPath()); err != nil {
+		return fmt.Errorf("journal: install wal: %w", err)
+	}
+	return syncDir(j.dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Seq returns the last assigned sequence number.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append writes one framed record to the WAL and returns its sequence
+// number. The record hits the file descriptor before Append returns (a
+// process crash cannot lose it); it is fsynced per Options.FsyncEvery
+// (power loss is bounded by the group-commit window).
+func (j *Journal) Append(payload []byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(payload)
+}
+
+// AppendBatch writes records as one write(2) and returns the sequence
+// of the last. The batch counts as len(payloads) records toward the
+// group-commit window.
+func (j *Journal) AppendBatch(payloads [][]byte) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return 0, ErrClosed
+	}
+	size := 0
+	for _, p := range payloads {
+		size += 8 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	if _, err := j.wal.Write(buf); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	j.seq += uint64(len(payloads))
+	j.unsynced += len(payloads)
+	if err := j.maybeSyncLocked(); err != nil {
+		return 0, err
+	}
+	return j.seq, nil
+}
+
+func (j *Journal) appendLocked(payload []byte) (uint64, error) {
+	if j.dead {
+		return 0, ErrClosed
+	}
+	buf := appendFrame(make([]byte, 0, 8+len(payload)), payload)
+	if _, err := j.wal.Write(buf); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	j.seq++
+	j.unsynced++
+	if err := j.maybeSyncLocked(); err != nil {
+		return 0, err
+	}
+	return j.seq, nil
+}
+
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func (j *Journal) maybeSyncLocked() error {
+	if j.unsynced < j.opts.FsyncEvery {
+		return nil
+	}
+	if err := j.wal.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.unsynced = 0
+	return nil
+}
+
+// Sync flushes any unsynced tail of the group-commit window to stable
+// storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrClosed
+	}
+	if j.unsynced == 0 {
+		return nil
+	}
+	if err := j.wal.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.unsynced = 0
+	return nil
+}
+
+// Snapshot durably stores state as covering every record appended so
+// far, then rotates the WAL so replay restarts from the snapshot. The
+// caller must guarantee state reflects exactly the events up to the
+// current sequence (i.e. no concurrent appends are in flight).
+func (j *Journal) Snapshot(state []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrClosed
+	}
+	raw, err := json.Marshal(snapshotFile{Seq: j.seq, State: state})
+	if err != nil {
+		return fmt.Errorf("journal: marshal snapshot: %w", err)
+	}
+	tmp := j.snapPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: create snapshot: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, j.snapPath()); err != nil {
+		return fmt.Errorf("journal: install snapshot: %w", err)
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; rotate the WAL so the replay tail is
+	// bounded. The old records are covered by the snapshot now.
+	if err := j.wal.Close(); err != nil {
+		return fmt.Errorf("journal: close old wal: %w", err)
+	}
+	if err := j.writeFreshWAL(j.seq + 1); err != nil {
+		return err
+	}
+	f, err = os.OpenFile(j.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopen wal: %w", err)
+	}
+	j.wal = f
+	j.unsynced = 0
+	return nil
+}
+
+// Close fsyncs and closes the journal, releasing the directory lock.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return nil
+	}
+	j.dead = true
+	var first error
+	if j.unsynced > 0 {
+		if err := j.wal.Sync(); err != nil && first == nil {
+			first = fmt.Errorf("journal: fsync on close: %w", err)
+		}
+	}
+	if err := j.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	if err := j.lock.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Crash closes the file descriptors without the final fsync — the
+// moral equivalent of SIGKILL, for crash-recovery tests and scenarios.
+// Appended records survive (they were written, and the OS page cache
+// outlives the process); only the flock is released.
+func (j *Journal) Crash() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return
+	}
+	j.dead = true
+	j.wal.Close()
+	j.lock.Close()
+}

@@ -95,21 +95,19 @@ func (e *Exchange) Disburse(policy DisbursementPolicy, total float64) error {
 		sum = float64(len(weights))
 	}
 
-	auction := e.AuctionCount()
-	entries := make([]LedgerEntry, 0, 2*len(teams))
+	// The event records the *resolved* per-team credits — not the policy
+	// inputs — so replay never re-reads quotas or usage.
+	credits := make([]Credit, 0, len(teams))
 	for i, team := range teams {
 		amount := total * weights[i] / sum
 		if amount == 0 {
 			continue
 		}
-		e.creditBalance(team, amount)
-		e.creditBalance(OperatorAccount, -amount)
-		entries = append(entries,
-			LedgerEntry{Auction: auction, Team: team, Amount: amount,
-				Memo: fmt.Sprintf("budget disbursement (%s)", policy)},
-			LedgerEntry{Auction: auction, Team: OperatorAccount, Amount: -amount,
-				Memo: fmt.Sprintf("budget disbursement to %s", team)})
+		credits = append(credits, Credit{Team: team, Amount: amount})
 	}
-	e.appendLedger(entries)
-	return nil
+	ev := &Event{Kind: EvDisbursed, Policy: policy.String(), Auction: e.AuctionCount(), Credits: credits}
+	if err := e.logEvent(ev); err != nil {
+		return err
+	}
+	return e.applyDisbursed(ev)
 }

@@ -1,0 +1,109 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+// Event kinds. Every externally visible state change of an Exchange is
+// materialized as exactly one of these before it is applied, so the
+// journal's record stream is a complete, replayable account of the
+// books. Events record the *results* of decisions (order IDs, clearing
+// outcomes, credit amounts) — never the inputs to them — so replay is
+// pure bookkeeping: no auction is ever re-run, no budget re-checked.
+const (
+	// EvAccountOpened creates a team account with its starting balance.
+	EvAccountOpened = "account-opened"
+	// EvOrderSubmitted books an order (ID, team, frozen bid) whose budget
+	// commitment was already approved by the live-path check.
+	EvOrderSubmitted = "order-submitted"
+	// EvOrderCancelled withdraws an open order and releases its
+	// commitment.
+	EvOrderCancelled = "order-cancelled"
+	// EvOrderAttempted records an order surviving a non-convergent clock
+	// (Attempts carries the new count).
+	EvOrderAttempted = "order-attempted"
+	// EvOrderSettled moves an order to a terminal status. Won carries the
+	// allocation and payment and implies the settlement money movement
+	// (commitment release, payment debit, operator credit, ledger pair,
+	// quota grant); Lost and Unsettled release the commitment.
+	EvOrderSettled = "order-settled"
+	// EvAuctionCleared appends the completed AuctionRecord to history —
+	// always after the batch's per-order settlement events.
+	EvAuctionCleared = "auction-cleared"
+	// EvBalanceCredited posts one off-auction credit to a team against
+	// the operator account, with a ledger pair.
+	EvBalanceCredited = "balance-credited"
+	// EvDisbursed posts one budget disbursement: a list of per-team
+	// credits against the operator account, with ledger pairs.
+	EvDisbursed = "disbursed"
+	// EvOrderPlaced schedules a won order's allocation onto the fleet.
+	// Replay re-runs the deterministic chunked placement, reproducing
+	// task IDs and machine assignments bit-identically.
+	EvOrderPlaced = "order-placed"
+	// EvTaskEvicted removes one placed task from the fleet.
+	EvTaskEvicted = "task-evicted"
+)
+
+// Credit is one team's share of a disbursement.
+type Credit struct {
+	Team   string  `json:"team"`
+	Amount float64 `json:"amount"`
+}
+
+// Event is the single flat record type covering every kind; unused
+// fields are omitted from the encoding. Payload floats round-trip
+// bit-exactly through encoding/json (shortest-representation encode,
+// exact decode), which the crash-recovery fingerprint contract relies
+// on.
+type Event struct {
+	Kind string `json:"k"`
+
+	Team    string      `json:"team,omitempty"`
+	OrderID int         `json:"order,omitempty"`
+	Auction int         `json:"auction,omitempty"`
+	Status  OrderStatus `json:"status,omitempty"`
+	// Attempts is the order's non-convergence count after this event.
+	Attempts   int             `json:"attempts,omitempty"`
+	Bid        *core.Bid       `json:"bid,omitempty"`
+	Allocation resource.Vector `json:"alloc,omitempty"`
+	Payment    float64         `json:"payment,omitempty"`
+	Amount     float64         `json:"amount,omitempty"`
+	Balance    float64         `json:"balance,omitempty"`
+	Memo       string          `json:"memo,omitempty"`
+	Record     *AuctionRecord  `json:"record,omitempty"`
+	Policy     string          `json:"policy,omitempty"`
+	Credits    []Credit        `json:"credits,omitempty"`
+	Cluster    string          `json:"cluster,omitempty"`
+	TaskID     string          `json:"task,omitempty"`
+}
+
+// logEvent appends the event to the journal, if one is attached. Every
+// call site either holds the lock guarding the state the event
+// describes (a stripe lock, settleMu) or runs single-threaded, so the
+// journal's sequence order is consistent with the order mutations
+// become visible.
+func (e *Exchange) logEvent(ev *Event) error {
+	if e.journal == nil {
+		return nil
+	}
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("market: encode %s event: %w", ev.Kind, err)
+	}
+	if _, err := e.journal.Append(raw); err != nil {
+		return fmt.Errorf("market: journal %s event: %w", ev.Kind, err)
+	}
+	return nil
+}
+
+// journaling reports whether the exchange has a journal attached. The
+// hot paths whose events exist only for the journal (submit, cancel,
+// account opening — the settlement events also drive applyEvent and are
+// materialized regardless) check it before building an Event, so the
+// in-memory exchange pays one branch instead of an allocation that
+// logEvent would immediately discard.
+func (e *Exchange) journaling() bool { return e.journal != nil }

@@ -9,6 +9,7 @@ import (
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/stats"
@@ -175,6 +176,14 @@ type Config struct {
 	// Engine selects the clock's demand-revelation engine; the zero value
 	// is core.EngineIncremental (the O(affected bidders) fast path).
 	Engine core.Engine
+	// Journal, when non-nil, makes the exchange durable: every state
+	// change is appended to the write-ahead log before it is applied, and
+	// a snapshot is written every SnapshotEvery auctions. Nil keeps the
+	// pure in-memory behavior with zero hot-path cost.
+	Journal *journal.Journal
+	// SnapshotEvery is the auction interval between journal snapshots
+	// (default 64; negative disables snapshots). Ignored without Journal.
+	SnapshotEvery int
 }
 
 func (c *Config) applyDefaults() {
@@ -192,6 +201,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Shards <= 0 {
 		c.Shards = DefaultShards
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
 	}
 }
 
@@ -257,6 +269,13 @@ type Exchange struct {
 
 	histMu  sync.RWMutex
 	history []*AuctionRecord
+
+	// journal, when non-nil, receives every state change as an event
+	// before it is applied (see event.go); delta tracks how PlaceOrder
+	// and EvictTask have diverged the fleet from its as-built state so
+	// snapshots can reproduce it.
+	journal *journal.Journal
+	delta   fleetDelta
 }
 
 // NewExchange wires an exchange to a fleet. The registry is derived from
@@ -285,6 +304,7 @@ func NewExchange(fleet *cluster.Fleet, cfg Config) (*Exchange, error) {
 	}
 	op := e.accountShardFor(OperatorAccount)
 	op.balances[OperatorAccount] = 0
+	e.journal = cfg.Journal
 	return e, nil
 }
 
@@ -311,6 +331,13 @@ func (e *Exchange) OpenAccount(team string) error {
 	defer as.mu.Unlock()
 	if _, ok := as.balances[team]; ok {
 		return fmt.Errorf("market: account %q exists", team)
+	}
+	// The event captures the granted balance, so replay is independent of
+	// the recovering process's configured budget.
+	if e.journaling() {
+		if err := e.logEvent(&Event{Kind: EvAccountOpened, Team: team, Balance: e.cfg.InitialBudget}); err != nil {
+			return err
+		}
 	}
 	as.balances[team] = e.cfg.InitialBudget
 	return nil
@@ -352,39 +379,65 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 		return nil, err
 	}
 
-	// Budget check and commitment, atomically on the team's account
-	// stripe. MaxLimit is the bid's worst-case payment exposure: the
-	// scalar Limit, or the largest per-bundle limit for vector-π bids.
+	// Budget pre-check on the team's account stripe, without committing.
+	// MaxLimit is the bid's worst-case payment exposure: the scalar
+	// Limit, or the largest per-bundle limit for vector-π bids. Checking
+	// here keeps a rejected submit from advancing the round-robin stripe
+	// pointer, so serial traffic reproduces the unsharded book's ID
+	// sequence exactly.
 	as := e.accountShardFor(team)
 	exp := b.MaxLimit()
-	as.mu.Lock()
-	bal, ok := as.balances[team]
-	if !ok {
-		as.mu.Unlock()
-		return nil, fmt.Errorf("market: no account %q", team)
-	}
-	if exp > 0 {
-		committed := as.openBuy[team]
-		if exp+committed > bal {
-			as.mu.Unlock()
-			return nil, fmt.Errorf("market: %q limit %.2f exceeds available budget %.2f",
-				team, exp, bal-committed)
+	budgetOK := func() error {
+		bal, ok := as.balances[team]
+		if !ok {
+			return fmt.Errorf("market: no account %q", team)
 		}
-		as.openBuy[team] = committed + exp
+		if exp > 0 {
+			if committed := as.openBuy[team]; exp+committed > bal {
+				return fmt.Errorf("market: %q limit %.2f exceeds available budget %.2f",
+					team, exp, bal-committed)
+			}
+		}
+		return nil
 	}
+	as.mu.Lock()
+	err := budgetOK()
 	as.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 
 	// Book the order into the next stripe round-robin. The ID is
 	// allocated under the stripe lock from the append position, so the
-	// stripe's slice stays dense and in ID order.
+	// stripe's slice stays dense and in ID order. The account stripe is
+	// re-locked *nested inside* the order stripe (the global lock order —
+	// account stripes are always the inner lock) so the budget re-check,
+	// commitment, event log, and booking form one atomic unit: a journal
+	// snapshot, which holds every stripe lock, can never observe the
+	// commitment without the logged order, so replay never double-commits.
 	n := len(e.orderShards)
 	sIdx := int(e.submitSeq.Add(1)-1) % n
 	os := &e.orderShards[sIdx]
 	os.mu.Lock()
+	as.mu.Lock()
+	if err := budgetOK(); err != nil {
+		// Only a concurrent drain of the account between the pre-check and
+		// here lands in this branch; the consumed stripe slot is harmless
+		// (IDs derive from stripe lengths, not the rotation counter).
+		as.mu.Unlock()
+		os.mu.Unlock()
+		return nil, err
+	}
 	o := &Order{ID: len(os.orders)*n + sIdx, Team: team, Bid: &b, Status: Open, Auction: -1}
-	os.orders = append(os.orders, o)
-	os.open = append(os.open, o)
-	os.openCount++
+	if e.journaling() {
+		if err := e.logEvent(&Event{Kind: EvOrderSubmitted, OrderID: o.ID, Team: team, Bid: &b}); err != nil {
+			as.mu.Unlock()
+			os.mu.Unlock()
+			return nil, err
+		}
+	}
+	e.bookOrderLocked(os, as, o)
+	as.mu.Unlock()
 	snap := o.snapshot()
 	os.mu.Unlock()
 	return snap, nil
@@ -490,6 +543,15 @@ func (e *Exchange) Cancel(id int) error {
 	if o.inAuction {
 		os.mu.Unlock()
 		return fmt.Errorf("market: order %d is in a settling auction", id)
+	}
+	// Log and mutate under the same stripe critical section as the check:
+	// dropping the lock in between would let a claimBatch sweep the order
+	// into a clock the journaled cancellation says never saw it.
+	if e.journaling() {
+		if err := e.logEvent(&Event{Kind: EvOrderCancelled, OrderID: id}); err != nil {
+			os.mu.Unlock()
+			return err
+		}
 	}
 	o.Status = Cancelled
 	os.openCount--
@@ -919,6 +981,14 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		Converged: res.Converged,
 		Submitted: len(open),
 	}
+	// From here on, every state change flows through the event stream:
+	// each decision is materialized as an Event, journaled (when a
+	// journal is attached), then applied by the same applyEvent layer
+	// recovery replays. The auction-cleared event is logged last, so a
+	// crash mid-settlement leaves a journal prefix whose replayed book
+	// simply shows a partially settled batch — per-order events are
+	// self-contained — and the next process's clock reuses the auction
+	// number the interrupted settlement never published.
 	if runErr != nil {
 		// Failed clock: the final prices are not clearing prices, so
 		// settling them would move money at arbitrary levels. Record the
@@ -926,65 +996,73 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		// batch has now failed MaxAuctionAttempts times, so a cycling
 		// trader pair cannot livelock every future epoch.
 		for _, o := range open {
-			os := e.orderShardFor(o.ID)
-			os.mu.Lock()
-			o.inAuction = false
-			o.Attempts++
-			retired := o.Attempts >= e.cfg.MaxAuctionAttempts
-			if retired {
-				o.Status = Unsettled
-				o.Auction = num
-				os.openCount--
+			var ev *Event
+			if o.Attempts+1 >= e.cfg.MaxAuctionAttempts {
+				ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num,
+					Status: Unsettled, Attempts: o.Attempts + 1}
+			} else {
+				ev = &Event{Kind: EvOrderAttempted, OrderID: o.ID, Auction: num,
+					Attempts: o.Attempts + 1}
 			}
-			os.mu.Unlock()
-			if retired {
-				e.releaseCommitment(o)
+			if err := e.logEvent(ev); err != nil {
+				return nil, nil, err
+			}
+			if err := e.applyEvent(ev); err != nil {
+				return nil, nil, err
 			}
 		}
-		e.appendHistory(rec)
+		recEv := &Event{Kind: EvAuctionCleared, Record: rec}
+		if err := e.logEvent(recEv); err != nil {
+			return nil, nil, err
+		}
+		if err := e.applyEvent(recEv); err != nil {
+			return nil, nil, err
+		}
+		if err := e.maybeSnapshotLocked(num); err != nil {
+			return rec, res, err
+		}
 		return rec, res, runErr
 	}
 	// Settle orders (indices in `bids` match `open` for i < len(open)).
 	// Every order in the batch is still Open: the in-auction mark blocks
-	// cancellation while the clock runs. Ledger entries are gathered
-	// locally and posted in one batch below.
-	entries := make([]LedgerEntry, 0, 2*len(open))
+	// cancellation while the clock runs. Each winner's ledger pair is
+	// posted atomically by the applier, so LedgerBalanced holds at every
+	// observable instant.
 	for i, o := range open {
-		os := e.orderShardFor(o.ID)
-		os.mu.Lock()
-		o.inAuction = false
-		o.Auction = num
-		os.openCount--
-		if !res.IsWinner(i) {
-			o.Status = Lost
-			os.mu.Unlock()
-			e.releaseCommitment(o)
-			continue
+		var ev *Event
+		if res.IsWinner(i) {
+			ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num, Status: Won,
+				Allocation: res.Allocations[i], Payment: res.Payments[i]}
+			rec.Settled++
+			// γ_u is measured against the limit that governed the *winning*
+			// bundle: for vector-limit bids the scalar Limit is ignored by the
+			// proxy, so using it here would corrupt the Table I statistics.
+			rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.LimitFor(res.ChosenBundle[i]), res.Payments[i]))
+		} else {
+			ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num, Status: Lost}
 		}
-		o.Status = Won
-		o.Allocation = res.Allocations[i]
-		o.Payment = res.Payments[i]
-		os.mu.Unlock()
-		rec.Settled++
-		// γ_u is measured against the limit that governed the *winning*
-		// bundle: for vector-limit bids the scalar Limit is ignored by the
-		// proxy, so using it here would corrupt the Table I statistics.
-		rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.LimitFor(res.ChosenBundle[i]), o.Payment))
-		e.settleWin(o)
-		e.creditBalance(OperatorAccount, o.Payment)
-		entries = append(entries,
-			LedgerEntry{Auction: num, Team: o.Team, Amount: -o.Payment,
-				Memo: fmt.Sprintf("order %d settlement", o.ID)},
-			LedgerEntry{Auction: num, Team: OperatorAccount, Amount: o.Payment,
-				Memo: fmt.Sprintf("counterparty for order %d", o.ID)})
-		e.fleet.Quotas().ApplyAllocation(e.reg, o.Team, o.Allocation)
+		if err := e.logEvent(ev); err != nil {
+			return nil, nil, err
+		}
+		if err := e.applyEvent(ev); err != nil {
+			return nil, nil, err
+		}
 	}
 	// The operator's supply bid exists to inject capacity and anchor the
 	// clock at the reserve prices; its money flow is already captured by
-	// the counterparty credits above (the exchange clears every trade
-	// against the operator account), so no further entry is needed here.
-	e.appendLedger(entries)
-	e.appendHistory(rec)
+	// the counterparty credits the winners' settlement events post (the
+	// exchange clears every trade against the operator account), so no
+	// further entry is needed here.
+	recEv := &Event{Kind: EvAuctionCleared, Record: rec}
+	if err := e.logEvent(recEv); err != nil {
+		return nil, nil, err
+	}
+	if err := e.applyEvent(recEv); err != nil {
+		return nil, nil, err
+	}
+	if err := e.maybeSnapshotLocked(num); err != nil {
+		return rec, res, err
+	}
 	return rec, res, runErr
 }
 

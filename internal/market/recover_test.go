@@ -1,0 +1,228 @@
+package market_test
+
+// Crash-recovery round trip at the market layer: a journaled exchange
+// driven through the full mutation surface (accounts, submits, cancels,
+// auctions — converged and failed —, disbursements, credits, placements,
+// evictions) is killed without warning and recovered; its observable
+// state must match an identical in-memory exchange bit for bit, and a
+// continued run must stay in lockstep.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/invariant"
+	"clustermarket/internal/journal"
+	"clustermarket/internal/market"
+)
+
+// recoverFleet builds a small two-cluster fleet with a fixed background
+// load — fully deterministic, so the recovery path can rebuild it.
+func recoverFleet(t *testing.T) *cluster.Fleet {
+	t.Helper()
+	f := cluster.NewFleet()
+	for _, name := range []string{"alpha", "beta"} {
+		c := cluster.New(name, nil)
+		c.UnitCost = cluster.Usage{CPU: 1, RAM: 0.25, Disk: 2}
+		c.AddMachines(4, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := f.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.ScheduleTask("background", "alpha", cluster.Usage{CPU: 20, RAM: 60, Disk: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ScheduleTask("background", "beta", cluster.Usage{CPU: 8, RAM: 30, Disk: 4}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// driveMarket exercises every mutation path. Both the reference and the
+// journaled exchange run exactly this script.
+func driveMarket(t *testing.T, e *market.Exchange) {
+	t.Helper()
+	for _, team := range []string{"ads", "maps", "search"} {
+		if err := e.OpenAccount(team); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit := func(team string, qty float64, clusters []string, limit float64) *market.Order {
+		o, err := e.SubmitProduct(team, "batch-compute", qty, clusters, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	submit("ads", 2, []string{"alpha"}, 600)
+	submit("maps", 1, []string{"alpha", "beta"}, 400)
+	victim := submit("search", 1, []string{"beta"}, 300)
+	if err := e.Cancel(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.RunAuction(); err != nil {
+		t.Fatalf("auction 1: %v", err)
+	}
+	// Place every winner and evict the first placed task.
+	var placed []market.PlacedTask
+	for _, o := range e.Orders() {
+		if o.Status != market.Won {
+			continue
+		}
+		tasks, err := e.PlaceOrder(o.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed = append(placed, tasks...)
+	}
+	if len(placed) == 0 {
+		t.Fatal("no tasks placed; test script needs a winner")
+	}
+	if err := e.EvictTask(placed[0].Cluster, placed[0].TaskID); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Disburse(market.ProportionalToQuota, 5000); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Credit("maps", 250, "goodwill refund"); err != nil {
+		t.Fatal(err)
+	}
+	submit("search", 1, []string{"beta"}, 350)
+}
+
+// driveMarketMore continues the script past the crash point.
+func driveMarketMore(t *testing.T, e *market.Exchange) {
+	t.Helper()
+	if _, err := e.SubmitProduct("ads", "batch-compute", 1, []string{"beta"}, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.RunAuction(); err != nil {
+		t.Fatalf("auction 2: %v", err)
+	}
+	if err := e.Disburse(market.EqualShares, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// marketImage gathers every observable surface for comparison.
+func marketImage(t *testing.T, e *market.Exchange) map[string]any {
+	t.Helper()
+	balances := map[string]float64{}
+	for _, team := range append(e.Teams(), market.OperatorAccount) {
+		b, err := e.Balance(team)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balances[team] = b
+	}
+	reg := e.Registry()
+	return map[string]any{
+		"orders":      e.Orders(),
+		"ledger":      e.Ledger(),
+		"history":     e.History(),
+		"balances":    balances,
+		"commitments": e.BuyCommitments(),
+		"placed":      e.PlacedTasks(),
+		"openCount":   e.OpenOrderCount(),
+		"util":        e.Fleet().UtilizationVector(reg),
+		"free":        e.Fleet().FreeVector(reg),
+		"quotaTeams":  e.Fleet().Quotas().Grants(),
+		"taskSeq":     e.Fleet().TaskSeq(),
+	}
+}
+
+func marketCfg(j *journal.Journal, snapEvery int) market.Config {
+	return market.Config{InitialBudget: 10000, MaxRounds: 4000, Journal: j, SnapshotEvery: snapEvery}
+}
+
+func testCrashRecoverMarket(t *testing.T, snapEvery int, snapshotMidway bool) {
+	// Reference: pure in-memory run.
+	ref, err := market.NewExchange(recoverFleet(t), marketCfg(nil, snapEvery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMarket(t, ref)
+
+	// Journaled run, killed without warning.
+	dir := filepath.Join(t.TempDir(), "wal")
+	j, rec, err := journal.Open(dir, journal.Options{FsyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("fresh dir reported prior state: %+v", rec)
+	}
+	durable, err := market.NewExchange(recoverFleet(t), marketCfg(j, snapEvery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMarket(t, durable)
+	if snapshotMidway {
+		if err := durable.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Crash()
+
+	// Resurrect.
+	j2, rec2, err := journal.Open(dir, journal.Options{FsyncEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec2.Empty() {
+		t.Fatal("journal lost the run")
+	}
+	if snapshotMidway && rec2.SnapshotSeq == 0 {
+		t.Fatal("snapshot was not durable")
+	}
+	cfg := marketCfg(j2, snapEvery)
+	recovered, err := market.Recover(recoverFleet(t), cfg, rec2)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if vs := invariant.CheckExchange(recovered); len(vs) > 0 {
+		t.Fatalf("recovered exchange violates invariants: %v", vs)
+	}
+
+	if want, got := marketImage(t, ref), marketImage(t, recovered); !reflect.DeepEqual(want, got) {
+		for k := range want {
+			if !reflect.DeepEqual(want[k], got[k]) {
+				t.Errorf("%s diverged after recovery:\n in-memory: %+v\n recovered: %+v", k, want[k], got[k])
+			}
+		}
+		t.FailNow()
+	}
+
+	// The recovered exchange must continue in lockstep.
+	driveMarketMore(t, ref)
+	driveMarketMore(t, recovered)
+	if want, got := marketImage(t, ref), marketImage(t, recovered); !reflect.DeepEqual(want, got) {
+		t.Fatal("continued runs diverged after recovery")
+	}
+	if vs := invariant.CheckExchange(recovered); len(vs) > 0 {
+		t.Fatalf("continued recovered exchange violates invariants: %v", vs)
+	}
+}
+
+func TestCrashRecoverReplaysFullWAL(t *testing.T)  { testCrashRecoverMarket(t, -1, false) }
+func TestCrashRecoverFromSnapshot(t *testing.T)    { testCrashRecoverMarket(t, -1, true) }
+func TestCrashRecoverSnapshotCadence(t *testing.T) { testCrashRecoverMarket(t, 1, false) }
+
+// TestJournalNilIsInert pins the zero-cost contract: an exchange without
+// a journal behaves exactly as before and Snapshot is a no-op.
+func TestJournalNilIsInert(t *testing.T) {
+	e, err := market.NewExchange(recoverFleet(t), marketCfg(nil, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Snapshot(); err != nil {
+		t.Fatalf("nil-journal Snapshot: %v", err)
+	}
+	driveMarket(t, e)
+	if vs := invariant.CheckExchange(e); len(vs) > 0 {
+		t.Fatalf("invariants: %v", vs)
+	}
+}

@@ -1,0 +1,257 @@
+package market
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clustermarket/internal/cluster"
+	"clustermarket/internal/core"
+	"clustermarket/internal/resource"
+)
+
+// exchangeState is the JSON snapshot of everything an Exchange would
+// otherwise have to replay from genesis: the full order book, accounts,
+// ledger, history, quota grants, and the fleet delta (exchange-placed
+// tasks pinned to their machines, plus initial-fleet tasks evicted
+// through the exchange). The base fleet itself is NOT persisted — the
+// owner rebuilds it deterministically and the delta is re-applied on
+// top.
+type exchangeState struct {
+	SubmitSeq uint64             `json:"submit_seq"`
+	Orders    []orderState       `json:"orders"`
+	Balances  map[string]float64 `json:"balances"`
+	OpenBuy   map[string]float64 `json:"open_buy,omitempty"`
+	Ledger    []LedgerEntry      `json:"ledger,omitempty"`
+	History   []*AuctionRecord   `json:"history,omitempty"`
+	Quotas    []grantState       `json:"quotas,omitempty"`
+	Placed    []placedState      `json:"placed,omitempty"`
+	Evicted   []taskRef          `json:"evicted,omitempty"`
+	// Machines pins every machine's committed-usage accumulator. The
+	// accumulator's exact float value depends on the historical add/evict
+	// order, so recomputing it from the surviving tasks can drift by an
+	// ulp — enough to shift reserve prices off the crashed process's
+	// trajectory.
+	Machines []machineState `json:"machines,omitempty"`
+	TaskSeq  int            `json:"task_seq"`
+}
+
+type machineState struct {
+	Cluster string        `json:"cluster"`
+	Machine int           `json:"machine"`
+	Used    cluster.Usage `json:"used"`
+}
+
+type orderState struct {
+	ID         int             `json:"id"`
+	Team       string          `json:"team"`
+	Bid        *core.Bid       `json:"bid"`
+	Status     OrderStatus     `json:"status"`
+	Auction    int             `json:"auction"`
+	Attempts   int             `json:"attempts,omitempty"`
+	Allocation resource.Vector `json:"alloc,omitempty"`
+	Payment    float64         `json:"payment,omitempty"`
+}
+
+type grantState struct {
+	Team    string        `json:"team"`
+	Cluster string        `json:"cluster"`
+	Quota   cluster.Usage `json:"quota"`
+}
+
+type placedState struct {
+	Cluster string        `json:"cluster"`
+	TaskID  string        `json:"task"`
+	Team    string        `json:"team"`
+	Req     cluster.Usage `json:"req"`
+	Machine int           `json:"machine"`
+}
+
+// Snapshot writes a consistent snapshot of the exchange to its journal
+// and rotates the WAL, bounding recovery replay. It is a no-op without
+// a journal.
+func (e *Exchange) Snapshot() error {
+	if e.journal == nil {
+		return nil
+	}
+	e.settleMu.Lock()
+	defer e.settleMu.Unlock()
+	return e.snapshotLocked()
+}
+
+// maybeSnapshotLocked snapshots on the configured auction cadence.
+// Callers hold settleMu.
+func (e *Exchange) maybeSnapshotLocked(num int) error {
+	if e.journal == nil || e.cfg.SnapshotEvery <= 0 || num%e.cfg.SnapshotEvery != 0 {
+		return nil
+	}
+	return e.snapshotLocked()
+}
+
+// snapshotLocked builds the state image and hands it to the journal.
+// The caller holds settleMu; taking every order and account stripe on
+// top excludes every event-logging path (settlement and book entry
+// alike), so the image corresponds exactly to the journal's current
+// sequence number.
+func (e *Exchange) snapshotLocked() error {
+	for s := range e.orderShards {
+		e.orderShards[s].mu.Lock()
+	}
+	for s := range e.accountShards {
+		e.accountShards[s].mu.Lock()
+	}
+	e.ledgerMu.RLock()
+	e.histMu.RLock()
+	st, err := e.buildStateLocked()
+	e.histMu.RUnlock()
+	e.ledgerMu.RUnlock()
+	for s := range e.accountShards {
+		e.accountShards[s].mu.Unlock()
+	}
+	for s := range e.orderShards {
+		e.orderShards[s].mu.Unlock()
+	}
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("market: encode snapshot: %w", err)
+	}
+	return e.journal.Snapshot(raw)
+}
+
+func (e *Exchange) buildStateLocked() (*exchangeState, error) {
+	st := &exchangeState{
+		SubmitSeq: e.submitSeq.Load(),
+		Balances:  make(map[string]float64),
+		TaskSeq:   e.fleet.TaskSeq(),
+	}
+	var orders []*Order
+	for s := range e.orderShards {
+		orders = append(orders, e.orderShards[s].orders...)
+	}
+	sortOrdersByID(orders)
+	st.Orders = make([]orderState, len(orders))
+	for i, o := range orders {
+		st.Orders[i] = orderState{ID: o.ID, Team: o.Team, Bid: o.Bid, Status: o.Status,
+			Auction: o.Auction, Attempts: o.Attempts, Allocation: o.Allocation, Payment: o.Payment}
+	}
+	for s := range e.accountShards {
+		as := &e.accountShards[s]
+		for team, bal := range as.balances {
+			st.Balances[team] = bal
+		}
+		for team, exp := range as.openBuy {
+			if exp != 0 {
+				if st.OpenBuy == nil {
+					st.OpenBuy = make(map[string]float64)
+				}
+				st.OpenBuy[team] = exp
+			}
+		}
+	}
+	st.Ledger = append([]LedgerEntry(nil), e.ledger...)
+	st.History = append([]*AuctionRecord(nil), e.history...)
+	for _, g := range e.fleet.Quotas().Grants() {
+		if g.Quota.IsZero() {
+			continue
+		}
+		st.Quotas = append(st.Quotas, grantState{Team: g.Team, Cluster: g.Cluster, Quota: g.Quota})
+	}
+	for _, ref := range e.delta.live() {
+		c := e.fleet.Cluster(ref.Cluster)
+		if c == nil {
+			return nil, fmt.Errorf("market: snapshot: unknown cluster %q", ref.Cluster)
+		}
+		t, machineID, ok := c.TaskInfo(ref.TaskID)
+		if !ok {
+			return nil, fmt.Errorf("market: snapshot: placed task %q missing from cluster %q",
+				ref.TaskID, ref.Cluster)
+		}
+		st.Placed = append(st.Placed, placedState{Cluster: ref.Cluster, TaskID: ref.TaskID,
+			Team: t.Team, Req: t.Req, Machine: machineID})
+	}
+	st.Evicted = append([]taskRef(nil), e.delta.evicted...)
+	for _, cn := range e.fleet.ClusterNames() {
+		for _, m := range e.fleet.Cluster(cn).Machines() {
+			st.Machines = append(st.Machines, machineState{Cluster: cn, Machine: m.ID, Used: m.Used()})
+		}
+	}
+	return st, nil
+}
+
+// restoreState loads a snapshot image into a freshly constructed
+// exchange whose fleet has been rebuilt to its as-built state. Runs
+// single-threaded, before the exchange is shared.
+func (e *Exchange) restoreState(raw []byte) error {
+	var st exchangeState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	n := len(e.orderShards)
+	for i := range st.Orders {
+		s := &st.Orders[i]
+		if s.Bid == nil {
+			return fmt.Errorf("order %d has no bid", s.ID)
+		}
+		o := &Order{ID: s.ID, Team: s.Team, Bid: s.Bid, Status: s.Status, Auction: s.Auction,
+			Attempts: s.Attempts, Allocation: s.Allocation, Payment: s.Payment}
+		os := e.orderShardFor(o.ID)
+		if os == nil || o.ID/n != len(os.orders) {
+			return fmt.Errorf("order %d out of sequence", o.ID)
+		}
+		os.orders = append(os.orders, o)
+		if o.Status == Open {
+			os.open = append(os.open, o)
+			os.openCount++
+		}
+	}
+	// Balances and commitments are restored verbatim (not re-derived from
+	// the booked orders), so the image's money state is authoritative.
+	for team, bal := range st.Balances {
+		e.accountShardFor(team).balances[team] = bal
+	}
+	for team, exp := range st.OpenBuy {
+		e.accountShardFor(team).openBuy[team] = exp
+	}
+	e.ledger = st.Ledger
+	e.history = st.History
+	for _, g := range st.Quotas {
+		e.fleet.Quotas().Grant(g.Team, g.Cluster, g.Quota)
+	}
+	// Re-apply the fleet delta: evictions first (freeing the capacity the
+	// pinned placements assume), then placements on their recorded
+	// machines, then the task-ID counter.
+	for _, ref := range st.Evicted {
+		c := e.fleet.Cluster(ref.Cluster)
+		if c == nil {
+			return fmt.Errorf("evicted task %q names unknown cluster %q", ref.TaskID, ref.Cluster)
+		}
+		if !c.Evict(ref.TaskID) {
+			return fmt.Errorf("evicted task %q missing from rebuilt cluster %q", ref.TaskID, ref.Cluster)
+		}
+	}
+	e.delta.evicted = append([]taskRef(nil), st.Evicted...)
+	for _, p := range st.Placed {
+		c := e.fleet.Cluster(p.Cluster)
+		if c == nil {
+			return fmt.Errorf("placed task %q names unknown cluster %q", p.TaskID, p.Cluster)
+		}
+		if err := c.PlaceAt(p.Machine, cluster.Task{ID: p.TaskID, Team: p.Team, Req: p.Req}); err != nil {
+			return fmt.Errorf("re-place task %q: %w", p.TaskID, err)
+		}
+		e.delta.recordPlace(p.Cluster, p.TaskID)
+	}
+	for _, ms := range st.Machines {
+		c := e.fleet.Cluster(ms.Cluster)
+		if c == nil {
+			return fmt.Errorf("machine state names unknown cluster %q", ms.Cluster)
+		}
+		if err := c.SetMachineUsed(ms.Machine, ms.Used); err != nil {
+			return err
+		}
+	}
+	e.fleet.SetTaskSeq(st.TaskSeq)
+	e.submitSeq.Store(st.SubmitSeq)
+	return nil
+}

@@ -19,11 +19,13 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
 	"clustermarket/internal/federation"
 	"clustermarket/internal/invariant"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
 )
@@ -99,6 +101,14 @@ type Backend interface {
 	OpenOrderCount() int
 	// Check runs the shared invariant kernel over the whole market.
 	Check() []invariant.Violation
+	// CrashRecover kills the backend's journals without flushing (the
+	// scripted power loss) and rebuilds the whole market from disk:
+	// deterministic fleet reconstruction, snapshot load, WAL replay, and
+	// the invariant kernel before serving resumes. It errors on an
+	// un-journaled backend.
+	CrashRecover() error
+	// Close releases the backend's journals (and their directory locks).
+	Close() error
 }
 
 // regionName and clusterName fix the shared topology naming.
@@ -139,7 +149,23 @@ func marketConfig(cfg Config) market.Config {
 		InitialBudget: cfg.InitialBudget,
 		MaxRounds:     cfg.MaxRounds,
 		Shards:        cfg.Shards,
+		SnapshotEvery: cfg.SnapshotEvery,
 	}
+}
+
+// openFreshJournal opens a journal directory that must hold no prior
+// state: scenario backends always build fresh worlds, and recovery goes
+// through CrashRecover against the same directory.
+func openFreshJournal(dir string, cfg Config) (*journal.Journal, error) {
+	j, rec, err := journal.Open(dir, journal.Options{FsyncEvery: cfg.FsyncEvery})
+	if err != nil {
+		return nil, err
+	}
+	if !rec.Empty() {
+		j.Close()
+		return nil, fmt.Errorf("scenario: journal dir %s already holds a journal", dir)
+	}
+	return j, nil
 }
 
 // placedTask remembers one scheduled task for later eviction.
@@ -159,6 +185,11 @@ type exchangeBackend struct {
 	owner    map[string]string   // cluster → region
 	seen     int                 // history records already reported
 	placed   map[string][]placedTask
+	// cfg (with its rng detached) is kept so CrashRecover can rebuild the
+	// fleet exactly as the original build did; journal is non-nil on the
+	// durable variant.
+	cfg     Config
+	journal *journal.Journal
 }
 
 // NewExchangeBackend builds the single-exchange backend: every region's
@@ -186,12 +217,80 @@ func NewExchangeBackend(cfg Config) (Backend, error) {
 			b.owner[cn] = rn
 		}
 	}
-	ex, err := market.NewExchange(fleet, marketConfig(cfg))
+	mcfg := marketConfig(cfg)
+	if cfg.JournalDir != "" {
+		j, err := openFreshJournal(cfg.JournalDir, cfg)
+		if err != nil {
+			return nil, err
+		}
+		mcfg.Journal = j
+		b.journal = j
+	}
+	ex, err := market.NewExchange(fleet, mcfg)
 	if err != nil {
 		return nil, err
 	}
 	b.ex = ex
+	cfg.rng = nil
+	b.cfg = cfg
 	return b, nil
+}
+
+func (b *exchangeBackend) CrashRecover() error {
+	if b.journal == nil {
+		return errors.New("scenario: exchange backend has no journal to recover from")
+	}
+	b.journal.Crash()
+	j, rec, err := journal.Open(b.cfg.JournalDir, journal.Options{FsyncEvery: b.cfg.FsyncEvery})
+	if err != nil {
+		return err
+	}
+	// Rebuild the fleet exactly as the crashed build did: same seed, same
+	// region order, a fresh rng stream.
+	cfg := b.cfg
+	cfg.applyDefaults()
+	fleet := cluster.NewFleet()
+	for k := 0; k < cfg.Regions; k++ {
+		rf, err := buildFleet(cfg, regionName(k), regionUtil(k, cfg.Regions))
+		if err != nil {
+			j.Close()
+			return err
+		}
+		for _, cn := range rf.ClusterNames() {
+			if err := fleet.AddCluster(rf.Cluster(cn)); err != nil {
+				j.Close()
+				return err
+			}
+		}
+	}
+	mcfg := marketConfig(cfg)
+	mcfg.Journal = j
+	ex, err := market.Recover(fleet, mcfg, rec)
+	if err != nil {
+		j.Close()
+		return err
+	}
+	if vs := invariant.CheckExchange(ex); len(vs) > 0 {
+		j.Close()
+		return fmt.Errorf("scenario: recovered exchange fails invariants: %s", vs[0])
+	}
+	b.ex = ex
+	b.journal = j
+	// The placed lists come back from the recovered exchange's own fleet
+	// delta, in original placement order (EvictFraction depends on it).
+	b.placed = make(map[string][]placedTask)
+	for _, pt := range ex.PlacedTasks() {
+		rn := b.owner[pt.Cluster]
+		b.placed[rn] = append(b.placed[rn], placedTask{cluster: pt.Cluster, id: pt.TaskID})
+	}
+	return nil
+}
+
+func (b *exchangeBackend) Close() error {
+	if b.journal == nil {
+		return nil
+	}
+	return b.journal.Close()
 }
 
 func (b *exchangeBackend) Kind() string                    { return "exchange" }
@@ -255,22 +354,20 @@ func (b *exchangeBackend) EpochRecords() []*market.AuctionRecord {
 }
 
 func (b *exchangeBackend) Place(id int) {
-	o, err := b.ex.Order(id)
-	if err != nil || o.Status != market.Won {
+	// Placement goes through the exchange's journaled op, so a recovered
+	// process re-materializes the same tasks on the same machines.
+	tasks, err := b.ex.PlaceOrder(id)
+	if err != nil {
 		return
 	}
-	b.placeAllocation(o.Team, o.Allocation)
-}
-
-func (b *exchangeBackend) placeAllocation(team string, alloc resource.Vector) {
-	b.ex.Fleet().PlaceAllocationChunked(b.ex.Registry(), team, alloc, func(cn, taskID string) {
-		rn := b.owner[cn]
-		b.placed[rn] = append(b.placed[rn], placedTask{cluster: cn, id: taskID})
-	})
+	for _, pt := range tasks {
+		rn := b.owner[pt.Cluster]
+		b.placed[rn] = append(b.placed[rn], placedTask{cluster: pt.Cluster, id: pt.TaskID})
+	}
 }
 
 func (b *exchangeBackend) EvictFraction(region string, frac float64) {
-	b.placed[region] = evictFraction(b.ex.Fleet(), b.placed[region], frac)
+	b.placed[region] = evictFraction(b.ex.EvictTask, b.placed[region], frac)
 }
 
 func (b *exchangeBackend) Disburse(total float64) error {
@@ -298,7 +395,16 @@ type federationBackend struct {
 	regions []string
 	seen    map[string]int
 	placed  map[string][]placedTask
+	// cfg (rng detached) backs CrashRecover's deterministic rebuild;
+	// journals maps region name (plus "fed" for the router) to its
+	// journal on the durable variant.
+	cfg      Config
+	journals map[string]*journal.Journal
 }
+
+// fedJournalName keys the router's own journal in the journals map and
+// names its subdirectory under Config.JournalDir.
+const fedJournalName = "fed"
 
 // NewFederationBackend builds the federated backend: one Region per
 // scenario region, fronted by the price-board router.
@@ -308,15 +414,33 @@ func NewFederationBackend(cfg Config) (Backend, error) {
 		seen:   make(map[string]int),
 		placed: make(map[string][]placedTask),
 	}
+	journals := make(map[string]*journal.Journal)
+	closeAll := func() {
+		for _, j := range journals {
+			j.Close()
+		}
+	}
 	var members []*federation.Region
 	for k := 0; k < cfg.Regions; k++ {
 		rn := regionName(k)
 		fleet, err := buildFleet(cfg, rn, regionUtil(k, cfg.Regions))
 		if err != nil {
+			closeAll()
 			return nil, err
 		}
-		r, err := federation.NewRegion(rn, fleet, marketConfig(cfg))
+		mcfg := marketConfig(cfg)
+		if cfg.JournalDir != "" {
+			j, err := openFreshJournal(filepath.Join(cfg.JournalDir, rn), cfg)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			journals[rn] = j
+			mcfg.Journal = j
+		}
+		r, err := federation.NewRegion(rn, fleet, mcfg)
 		if err != nil {
+			closeAll()
 			return nil, err
 		}
 		members = append(members, r)
@@ -324,10 +448,102 @@ func NewFederationBackend(cfg Config) (Backend, error) {
 	}
 	fed, err := federation.NewFederation(members...)
 	if err != nil {
+		closeAll()
 		return nil, err
 	}
+	if cfg.JournalDir != "" {
+		fj, err := openFreshJournal(filepath.Join(cfg.JournalDir, fedJournalName), cfg)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		journals[fedJournalName] = fj
+		fed.AttachJournal(fj, cfg.SnapshotEvery)
+		b.journals = journals
+	}
 	b.fed = fed
+	cfg.rng = nil
+	b.cfg = cfg
 	return b, nil
+}
+
+func (b *federationBackend) CrashRecover() error {
+	if len(b.journals) == 0 {
+		return errors.New("scenario: federation backend has no journals to recover from")
+	}
+	for _, j := range b.journals {
+		j.Crash()
+	}
+	cfg := b.cfg
+	cfg.applyDefaults()
+	journals := make(map[string]*journal.Journal)
+	closeAll := func() {
+		for _, j := range journals {
+			j.Close()
+		}
+	}
+	var members []*federation.Region
+	for k := 0; k < cfg.Regions; k++ {
+		rn := regionName(k)
+		fleet, err := buildFleet(cfg, rn, regionUtil(k, cfg.Regions))
+		if err != nil {
+			closeAll()
+			return err
+		}
+		j, rec, err := journal.Open(filepath.Join(cfg.JournalDir, rn), journal.Options{FsyncEvery: cfg.FsyncEvery})
+		if err != nil {
+			closeAll()
+			return err
+		}
+		journals[rn] = j
+		mcfg := marketConfig(cfg)
+		mcfg.Journal = j
+		r, err := federation.RecoverRegion(rn, fleet, mcfg, rec)
+		if err != nil {
+			closeAll()
+			return err
+		}
+		members = append(members, r)
+	}
+	fj, frec, err := journal.Open(filepath.Join(cfg.JournalDir, fedJournalName), journal.Options{FsyncEvery: cfg.FsyncEvery})
+	if err != nil {
+		closeAll()
+		return err
+	}
+	journals[fedJournalName] = fj
+	fed, err := federation.NewFederation(members...)
+	if err != nil {
+		closeAll()
+		return err
+	}
+	if err := fed.Restore(frec); err != nil {
+		closeAll()
+		return err
+	}
+	fed.AttachJournal(fj, cfg.SnapshotEvery)
+	if vs := invariant.CheckFederation(fed); len(vs) > 0 {
+		closeAll()
+		return fmt.Errorf("scenario: recovered federation fails invariants: %s", vs[0])
+	}
+	b.fed = fed
+	b.journals = journals
+	b.placed = make(map[string][]placedTask)
+	for _, rn := range b.regions {
+		for _, pt := range fed.Region(rn).Exchange().PlacedTasks() {
+			b.placed[rn] = append(b.placed[rn], placedTask{cluster: pt.Cluster, id: pt.TaskID})
+		}
+	}
+	return nil
+}
+
+func (b *federationBackend) Close() error {
+	var first error
+	for _, j := range b.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (b *federationBackend) Kind() string      { return "federation" }
@@ -425,9 +641,21 @@ func (b *federationBackend) Place(id int) {
 	if r == nil {
 		return
 	}
-	r.Exchange().Fleet().PlaceAllocationChunked(r.Exchange().Registry(), fo.Team, fo.Allocation, func(cn, taskID string) {
-		b.placed[fo.Region] = append(b.placed[fo.Region], placedTask{cluster: cn, id: taskID})
-	})
+	// Placement goes through the winning leg's regional order, so the
+	// region's own journal carries the placement event.
+	for _, leg := range fo.Legs {
+		if leg.Region != fo.Region || leg.Status != market.Won {
+			continue
+		}
+		tasks, err := r.Exchange().PlaceOrder(leg.OrderID)
+		if err != nil {
+			return
+		}
+		for _, pt := range tasks {
+			b.placed[fo.Region] = append(b.placed[fo.Region], placedTask{cluster: pt.Cluster, id: pt.TaskID})
+		}
+		return
+	}
 }
 
 func (b *federationBackend) EvictFraction(region string, frac float64) {
@@ -435,7 +663,7 @@ func (b *federationBackend) EvictFraction(region string, frac float64) {
 	if r == nil {
 		return
 	}
-	b.placed[region] = evictFraction(r.Exchange().Fleet(), b.placed[region], frac)
+	b.placed[region] = evictFraction(r.Exchange().EvictTask, b.placed[region], frac)
 }
 
 func (b *federationBackend) Disburse(total float64) error {
@@ -505,9 +733,9 @@ func meanCPUPrice(ex *market.Exchange, clusters []string) float64 {
 	return sum / float64(n)
 }
 
-// evictFraction evicts the oldest frac of the placed tasks and returns
-// the survivors.
-func evictFraction(fleet *cluster.Fleet, placed []placedTask, frac float64) []placedTask {
+// evictFraction evicts the oldest frac of the placed tasks through the
+// owning exchange's journaled eviction op and returns the survivors.
+func evictFraction(evict func(clusterName, taskID string) error, placed []placedTask, frac float64) []placedTask {
 	if frac <= 0 || len(placed) == 0 {
 		return placed
 	}
@@ -519,9 +747,9 @@ func evictFraction(fleet *cluster.Fleet, placed []placedTask, frac float64) []pl
 		n = len(placed)
 	}
 	for _, pt := range placed[:n] {
-		if c := fleet.Cluster(pt.cluster); c != nil {
-			c.Evict(pt.id)
-		}
+		// The tracked task can only be missing if the scenario itself is
+		// inconsistent; the invariant kernel would flag the fallout.
+		_ = evict(pt.cluster, pt.id)
 	}
 	return append([]placedTask(nil), placed[n:]...)
 }

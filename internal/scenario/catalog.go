@@ -16,6 +16,10 @@ import (
 //	    Table I learning curve: median premiums fall epoch over epoch.
 //	churn             — a quarter of the bidder population is replaced
 //	    every epoch, with periodic budget refresh cycles.
+//	crash-recovery    — steady demand with budget refreshes and a
+//	    mid-run demand ebb; run with Config.CrashEpoch on a journaled
+//	    backend, the kill-and-resurrect run must fingerprint-match the
+//	    uninterrupted one.
 //	diurnal           — sinusoidal demand waves with load ebbing in the
 //	    troughs; prices must track the congestion cycle.
 //	flash-crowd       — a mid-run burst of demand pinned to the hottest
@@ -84,6 +88,26 @@ func Catalog() []*Scenario {
 					return []string{regions[1]}
 				}
 				return nil
+			},
+		},
+		{
+			Name: "crash-recovery",
+			Description: "mid-run power loss on a journaled backend: killed before a settlement wave, " +
+				"resurrected from the WAL, and required to continue bit-identically",
+			Epochs: 8,
+			BudgetRefresh: func(epoch int) float64 {
+				if epoch > 0 && epoch%3 == 0 {
+					return 15000
+				}
+				return 0
+			},
+			Evict: func(epoch int) float64 {
+				// An ebb right at the canonical crash epoch, so recovery has
+				// to reconstruct placed demand before evicting from it.
+				if epoch == 4 {
+					return 0.3
+				}
+				return 0
 			},
 		},
 		{

@@ -53,6 +53,24 @@ type Config struct {
 	// on one region's fresh bid stream every SpotEvery epochs (default 3;
 	// negative disables).
 	SpotEvery int
+	// JournalDir, when non-empty, makes the backend durable: the exchange
+	// backend journals to the directory itself; the federation backend
+	// journals each region to JournalDir/<region> and the router to
+	// JournalDir/fed. The directory must hold no prior journal — scenarios
+	// always build fresh worlds and recover only through CrashRecover.
+	JournalDir string
+	// FsyncEvery is the journal group-commit window (default 1: fsync
+	// every record).
+	FsyncEvery int
+	// SnapshotEvery bounds recovery replay: each exchange snapshots every
+	// SnapshotEvery auctions (0 selects the market default), and the
+	// federation router snapshots every SnapshotEvery settlements.
+	SnapshotEvery int
+	// CrashEpoch, when positive, kills the journaled backend without
+	// flushing just before that epoch's settlement wave and resurrects it
+	// from disk — the run must continue bit-identically (the crash-recovery
+	// scenario's fingerprint check enforces it). Requires JournalDir.
+	CrashEpoch int
 
 	rng *rand.Rand
 }
@@ -495,12 +513,22 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 		}
 	}
 
-	// 6. Settlement wave.
+	// 6. Scripted power loss: kill the journaled backend without flushing
+	// and resurrect it from its WAL. Mid-epoch is the hostile moment —
+	// demand is booked but unsettled — and the rest of the run must
+	// proceed as if nothing happened.
+	if e.cfg.CrashEpoch > 0 && epoch == e.cfg.CrashEpoch {
+		if err := e.b.CrashRecover(); err != nil {
+			return nil, fmt.Errorf("crash recovery: %w", err)
+		}
+	}
+
+	// 7. Settlement wave.
 	if err := e.b.Settle(down); err != nil {
 		return nil, err
 	}
 
-	// 7. Outcome scan: place won demand, adapt premiums, drop terminal
+	// 8. Outcome scan: place won demand, adapt premiums, drop terminal
 	// orders from tracking.
 	kept := e.open[:0]
 	for _, tr := range e.open {
@@ -535,14 +563,14 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 	}
 	e.open = kept
 
-	// 8. Demand ebb.
+	// 9. Demand ebb.
 	if frac := sc.evict(epoch); frac > 0 {
 		for _, rn := range liveRegions {
 			e.b.EvictFraction(rn, frac)
 		}
 	}
 
-	// 9. Epoch record digest.
+	// 10. Epoch record digest.
 	var premiums []float64
 	for _, rec := range e.b.EpochRecords() {
 		s.Auctions++
@@ -560,7 +588,7 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 		s.Prices = append(s.Prices, RegionPrice{Region: rn, MeanCPU: e.b.MeanCPUPrice(rn)})
 	}
 
-	// 10. The shared invariant kernel, every epoch — plus the periodic
+	// 11. The shared invariant kernel, every epoch — plus the periodic
 	// dense≡incremental spot check over this epoch's fresh bid stream.
 	vs := e.b.Check()
 	if e.cfg.SpotEvery > 0 && epoch%e.cfg.SpotEvery == e.cfg.SpotEvery-1 {
