@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: all build test race vet bench bench-baseline bench-compare \
-	soak soak-race soak-crash cover cover-update fuzz bench-ci
+	soak soak-race soak-crash soak-telemetry cover cover-update fuzz bench-ci
 
 all: vet build test
 
@@ -27,7 +27,7 @@ bench:
 # (BenchmarkParallelSubmit across worker counts) appended to the same
 # file. Parametrized so re-running for a new PR cannot silently clobber
 # an earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 bench-baseline:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)
 	$(GO) test -run 'xxx' -bench 'ParallelSubmit|ConcurrentSubmit' -benchtime 2000x -cpu 1,4,8 . | tee -a $(BENCH_OUT)
@@ -35,8 +35,8 @@ bench-baseline:
 # Compare two recorded baselines (default: the previous PR's against
 # this PR's). Informational by default — single-iteration CI timings are
 # noise — pass BENCH_FAIL_OVER=N to fail on a >N% ns/op regression.
-BENCH_OLD ?= BENCH_pr4.json
-BENCH_NEW ?= BENCH_pr6.json
+BENCH_OLD ?= BENCH_pr6.json
+BENCH_NEW ?= BENCH_pr7.json
 BENCH_FAIL_OVER ?= 0
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)
@@ -70,6 +70,14 @@ SOAK_CRASH_FLAGS ?= -scenario crash-recovery -backend both -seed 42 -crash-epoch
 soak-crash:
 	$(GO) run -race ./cmd/marketsim $(SOAK_CRASH_FLAGS) -journal-dir "$$(mktemp -d)"
 
+# Telemetry soak: every catalog scenario on both backends with a
+# firehose subscriber attached, requiring each run's report to be
+# reconstructible bit-identically from the event stream alone — exit
+# code 3 if the stream reconstruction's fingerprint diverges.
+SOAK_TELEMETRY_FLAGS ?= -scenario all -backend both -seed 42 -telemetry
+soak-telemetry:
+	$(GO) run -race ./cmd/marketsim $(SOAK_TELEMETRY_FLAGS) -epochs 6
+
 # Coverage with a checked-in floor (COVERAGE_FLOOR) and per-package
 # deltas against COVERAGE_baseline.txt. cover-update rewrites the
 # baseline after intentional changes.
@@ -83,4 +91,5 @@ cover-update:
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) -run 'xxx' ./internal/bidlang
-	$(GO) test -fuzz FuzzQueryParams -fuzztime $(FUZZTIME) -run 'xxx' ./internal/webui
+	$(GO) test -fuzz 'FuzzQueryParams$$' -fuzztime $(FUZZTIME) -run 'xxx' ./internal/webui
+	$(GO) test -fuzz FuzzEventsQueryParams -fuzztime $(FUZZTIME) -run 'xxx' ./internal/webui

@@ -28,6 +28,7 @@ import (
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/sim"
+	"clustermarket/internal/telemetry"
 )
 
 // benchConfig is a small but structurally faithful world: enough clusters
@@ -782,6 +783,79 @@ func benchEpochLoop(b *testing.B, ex *market.Exchange) {
 	// LoopStats.SettledOrders sense): successfully provisioned demand,
 	// not just orders reaching a terminal state.
 	b.ReportMetric(float64(s.SettledOrders)/b.Elapsed().Seconds(), "settled/s")
+}
+
+// TestFirehoseNoSubscriberAllocationFree is the firehose's hot-path
+// guard: an exchange with a firehose attached but no subscriber must
+// submit orders with exactly the same number of heap allocations as an
+// exchange with no firehose at all. Publish with zero subscribers is a
+// nil check plus one atomic load — no event materialization, no
+// payload boxing.
+func TestFirehoseNoSubscriberAllocationFree(t *testing.T) {
+	build := func(fire *telemetry.Firehose) *market.Exchange {
+		f := cluster.NewFleet()
+		c := cluster.New("r1", nil)
+		c.AddMachines(50, cluster.Usage{CPU: 32, RAM: 128, Disk: 20})
+		if err := f.AddCluster(c); err != nil {
+			t.Fatal(err)
+		}
+		ex, err := market.NewExchange(f, market.Config{InitialBudget: 1e12, Telemetry: fire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.OpenAccount("bt0"); err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+	measure := func(ex *market.Exchange) float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, err := ex.SubmitProduct("bt0", "batch-compute", 1, []string{"r1"}, 5); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	bare := measure(build(nil))
+	wired := measure(build(telemetry.NewFirehose()))
+	if wired != bare {
+		t.Fatalf("submit with unwatched firehose allocates %.1f/op, without %.1f/op — the no-subscriber path must be allocation-free", wired, bare)
+	}
+}
+
+// BenchmarkEpochLoopFirehose is BenchmarkEpochLoop with the telemetry
+// firehose attached: the no-subscriber run must be indistinguishable
+// from the baseline (publish is a nil check plus an atomic load), and
+// the subscriber run prices the full event pipeline — materialization,
+// publish, and a concurrent drain — against the same workload.
+func BenchmarkEpochLoopFirehose(b *testing.B) {
+	for _, mode := range []string{"no-subscriber", "subscriber"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			fire := telemetry.NewFirehose()
+			if mode == "subscriber" {
+				sub := fire.Subscribe(1 << 12)
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for range sub.C {
+					}
+				}()
+				defer func() { sub.Close(); <-done }()
+			}
+			ex, err := market.NewExchange(benchPlanetFleet(b, 0, 1),
+				market.Config{InitialBudget: 1e12, Telemetry: fire})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16; i++ {
+				if err := ex.OpenAccount(benchName("bt", i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchEpochLoop(b, ex)
+			b.ReportMetric(float64(fire.Published()), "events")
+		})
+	}
 }
 
 // benchFederation partitions the planet-wide fleet into an R-region

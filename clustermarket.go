@@ -44,6 +44,7 @@ import (
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/scenario"
+	"clustermarket/internal/telemetry"
 	"clustermarket/internal/webui"
 )
 
@@ -359,6 +360,41 @@ func UnfairnessReport(bids []*Bid, res *OptimizedResult, prices Vector) int {
 	return optimize.UnfairnessReport(bids, res, prices)
 }
 
+// Streaming telemetry (beyond the paper; the "Telemetry & firehose"
+// section of DESIGN.md). An exchange built with
+// ExchangeConfig.Telemetry set — and a federation after
+// AttachTelemetry — publishes every state-change event to a bounded,
+// non-blocking firehose; the web front ends additionally serve a
+// Prometheus exposition at /metrics, a health probe at /healthz, and a
+// live SSE feed at /api/events.
+type (
+	// Firehose is the bounded pub/sub event bus: publishers never block,
+	// slow subscribers lose oldest-first, and with no subscriber a
+	// publish is two atomic loads.
+	Firehose = telemetry.Firehose
+	// TelemetryEvent is one published event: a process-wide sequence
+	// number, the publishing subsystem ("market", "fed", "scenario"), the
+	// event kind, and the typed payload.
+	TelemetryEvent = telemetry.Event
+	// TelemetrySubscription is one subscriber's bounded event queue.
+	TelemetrySubscription = telemetry.Subscription
+	// Health is the shared state behind a /healthz probe.
+	Health = telemetry.Health
+	// HealthSnapshot is one consistent probe read, JSON-ready.
+	HealthSnapshot = telemetry.HealthSnapshot
+	// Exposition accumulates one Prometheus text-format scrape.
+	Exposition = telemetry.Exposition
+	// ExchangeMetrics is the exchange's monotonic counter snapshot.
+	ExchangeMetrics = market.Metrics
+)
+
+// NewFirehose returns an empty firehose ready for Publish and
+// Subscribe.
+func NewFirehose() *Firehose { return telemetry.NewFirehose() }
+
+// NewHealth returns a health record anchored at the given start time.
+func NewHealth(start time.Time) *Health { return telemetry.NewHealth(start) }
+
 // Scenario engine & invariant kernel (beyond the paper; DESIGN.md).
 
 type (
@@ -393,6 +429,13 @@ func NewScenarioBackend(kind string, cfg ScenarioConfig) (MarketBackend, error) 
 // epochs, with the shared invariant kernel checked after every one.
 func RunScenario(sc *MarketScenario, b MarketBackend, cfg ScenarioConfig) (*ScenarioReport, error) {
 	return scenario.Run(sc, b, cfg)
+}
+
+// ReconstructScenarioReport rebuilds a scenario report purely from the
+// firehose event stream of a run — the losslessness proof for the
+// telemetry pipeline: its Fingerprint must equal the live run's.
+func ReconstructScenarioReport(scenarioName, backendKind string, seed int64, events []TelemetryEvent) (*ScenarioReport, error) {
+	return scenario.ReconstructReport(scenarioName, backendKind, seed, events)
 }
 
 // CheckMarketInvariants runs the shared invariant kernel over a

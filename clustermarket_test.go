@@ -1,6 +1,8 @@
 package clustermarket_test
 
 import (
+	"time"
+
 	"strings"
 	"testing"
 
@@ -245,5 +247,55 @@ func TestFacadeJournalRecovery(t *testing.T) {
 	}
 	if got != wantBalance {
 		t.Fatalf("recovered balance %v, want %v", got, wantBalance)
+	}
+}
+
+// TestFacadeTelemetry drives the re-exported streaming-telemetry
+// surface: firehose pub/sub on a live exchange, stream reconstruction
+// of a scenario run, health probing, and the Prometheus exposition
+// builder.
+func TestFacadeTelemetry(t *testing.T) {
+	fire := cm.NewFirehose()
+	sub := fire.Subscribe(1 << 12)
+
+	sc, err := cm.LookupScenario("churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cm.ScenarioConfig{Seed: 11, Epochs: 3, Telemetry: fire}
+	b, err := cm.NewScenarioBackend("exchange", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cm.RunScenario(sc, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Close()
+	var events []cm.TelemetryEvent
+	for ev := range sub.C {
+		events = append(events, ev)
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d events", sub.Dropped())
+	}
+	rec, err := cm.ReconstructScenarioReport("churn", "exchange", 11, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fingerprint() != rep.Fingerprint() {
+		t.Fatalf("stream reconstruction fingerprint %s, run %s", rec.Fingerprint(), rep.Fingerprint())
+	}
+
+	h := cm.NewHealth(time.Now())
+	h.RecordCheck(time.Now(), nil)
+	if snap := h.Snapshot(time.Now()); !snap.Healthy || snap.ChecksTotal != 1 {
+		t.Fatalf("health snapshot = %+v", snap)
+	}
+
+	var e cm.Exposition
+	e.Counter("facade_events_total", "Events seen by the facade test.", float64(len(events)))
+	if out := e.String(); !strings.Contains(out, "facade_events_total") {
+		t.Fatalf("exposition = %q", out)
 	}
 }

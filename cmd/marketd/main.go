@@ -56,6 +56,7 @@ import (
 	"clustermarket/internal/invariant"
 	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
+	"clustermarket/internal/telemetry"
 	"clustermarket/internal/webui"
 )
 
@@ -98,12 +99,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Every exchange and the federation router publish to one firehose,
+	// so /metrics and the /api/events live feed see the whole process.
+	fire := telemetry.NewFirehose()
+	health := telemetry.NewHealth(time.Now())
+	health.SetJournal(*journalDir, *journalDir != "")
+
 	var handler http.Handler
 	// closeJournal flushes, fsyncs, and unlocks the journal(s) after the
 	// HTTP server has drained — the durability half of graceful shutdown.
 	closeJournal := func() error { return nil }
 	if *regions > 0 {
-		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery)
+		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -114,20 +121,32 @@ func main() {
 		} else {
 			log.Printf("marketd: epoch loops disabled; settle per region via POST /region/<name>/auction/run")
 		}
-		handler = webui.NewFederated(fed)
+		// The federation's epoch loops live inside Serve, so health checks
+		// run on their own clock rather than a per-tick hook.
+		exs := make([]*market.Exchange, 0, *regions)
+		for _, r := range fed.Regions() {
+			exs = append(exs, r.Exchange())
+		}
+		health.RecordCheck(time.Now(), liveViolations(exs...))
+		go healthLoop(ctx, health, *epoch, exs...)
+		s := webui.NewFederated(fed)
+		s.SetHealth(health)
+		handler = s
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery)
+		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
 		closeJournal = closer
+		health.RecordCheck(time.Now(), liveViolations(ex))
 		if *epoch > 0 {
 			loop, err := market.NewLoop(ex, *epoch)
 			if err != nil {
 				log.Fatal("marketd: ", err)
 			}
 			loop.OnTick = func(rec *market.AuctionRecord, err error) {
+				health.RecordCheck(time.Now(), liveViolations(ex))
 				if err != nil {
 					log.Printf("marketd: epoch auction: %v", err)
 					return
@@ -138,9 +157,12 @@ func main() {
 			go loop.Run(ctx)
 			log.Printf("marketd: epoch auction loop settling every %s", *epoch)
 		} else {
+			go healthLoop(ctx, health, 0, ex)
 			log.Printf("marketd: epoch loop disabled; settle via POST /auction/run")
 		}
-		handler = webui.New(ex)
+		s := webui.New(ex)
+		s.SetHealth(health)
+		handler = s
 		log.Printf("marketd: serving trading platform on %s", *addr)
 	}
 
@@ -186,6 +208,52 @@ func serveListener(ctx context.Context, ln net.Listener, handler http.Handler) e
 		return err
 	}
 	return nil
+}
+
+// healthCheckInterval is the /healthz invariant-check cadence when no
+// epoch loop exists to hook.
+const healthCheckInterval = 30 * time.Second
+
+// liveViolations runs the invariant checks that are valid while
+// settlements are in flight — conservation of money in the ledger and
+// non-negative balances. The commitment/exposure cross-check is
+// quiescent-only (it false-positives mid-auction), so the probe skips
+// it.
+func liveViolations(exs ...*market.Exchange) []string {
+	var out []string
+	for _, ex := range exs {
+		vs := invariant.CheckLedgerBalanced(ex.Ledger(), invariant.Eps)
+		balances := make(map[string]float64)
+		for _, team := range ex.Teams() {
+			if b, err := ex.Balance(team); err == nil {
+				balances[team] = b
+			}
+		}
+		vs = append(vs, invariant.CheckBalancesNonNegative(balances, invariant.Eps)...)
+		for _, v := range vs {
+			out = append(out, v.String())
+		}
+	}
+	return out
+}
+
+// healthLoop re-runs the live-safe invariant checks on a timer until
+// ctx is cancelled, feeding /healthz. every <= 0 selects the default
+// cadence.
+func healthLoop(ctx context.Context, health *telemetry.Health, every time.Duration, exs ...*market.Exchange) {
+	if every <= 0 {
+		every = healthCheckInterval
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			health.RecordCheck(time.Now(), liveViolations(exs...))
+		}
+	}
 }
 
 // validateFlags rejects demo-world parameters that would panic or build
@@ -283,13 +351,13 @@ func noClose() error { return nil }
 // is rebuilt deterministically from the seed, not journaled). Recovery
 // runs the shared invariant kernel before serving. The returned closer
 // flushes and unlocks the journal on shutdown.
-func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int) (*market.Exchange, func() error, error) {
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, fire *telemetry.Firehose) (*market.Exchange, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards}
+	cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards, Telemetry: fire}
 	if journalDir == "" {
 		ex, err := market.NewExchange(fleet, cfg)
 		if err != nil {
@@ -355,7 +423,7 @@ const fedSnapshotEvery = 64
 // journalDir/fed; a directory holding a previous run recovers every
 // member to the same cut — all-or-nothing, since a half-recovered
 // federation would desynchronize routing state from the regional books.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int) (*federation.Federation, func() error, error) {
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, fire *telemetry.Firehose) (*federation.Federation, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
 	var journals []*journal.Journal
@@ -376,7 +444,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 			closeAll()
 			return nil, nil, err
 		}
-		cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards}
+		cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards, Telemetry: fire}
 		var rec *journal.Recovery
 		if journalDir != "" {
 			var j *journal.Journal
@@ -406,6 +474,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 		closeAll()
 		return nil, nil, err
 	}
+	fed.AttachTelemetry(fire)
 	if journalDir != "" {
 		fj, frec, err := journal.Open(filepath.Join(journalDir, "fed"), journal.Options{FsyncEvery: fsyncEvery})
 		if err != nil {

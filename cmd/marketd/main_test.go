@@ -10,11 +10,12 @@ import (
 	"time"
 
 	"clustermarket/internal/core"
+	"clustermarket/internal/telemetry"
 	"clustermarket/internal/webui"
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1)
+	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1); err == nil {
+	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1, nil); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestValidateFlags(t *testing.T) {
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1)
+	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1)
+	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestParseEngine(t *testing.T) {
 // directory — the flock a live marketd holds.
 func TestJournaledDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 	}
 
 	// While the first process holds the directory, a second must refuse.
-	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1); err == nil {
+	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil); err == nil {
 		t.Fatal("second marketd opened a locked journal dir")
 	}
 
@@ -230,7 +231,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -254,7 +255,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 // demo: every region and the router recover to the same cut.
 func TestJournaledFederatedDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1)
+	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -278,5 +279,64 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 	}
 	if got := len(fed2.Orders()); got != wantOrders {
 		t.Errorf("recovered %d orders, want %d", got, wantOrders)
+	}
+}
+
+// TestDemoOpsEndpoints proves the wired-up observability surface: a
+// demo world built with a firehose serves live Prometheus text at
+// /metrics, a health probe at /healthz, and the event feed at
+// /api/events — the same wiring main() performs.
+func TestDemoOpsEndpoints(t *testing.T) {
+	fire := telemetry.NewFirehose()
+	ex, _, err := buildDemo(2, 4, 7, 5000, core.EngineIncremental, 0, "", 1, fire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := telemetry.NewHealth(time.Now())
+	health.RecordCheck(time.Now(), liveViolations(ex))
+	s := webui.New(ex)
+	s.SetHealth(health)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	if _, err := ex.SubmitProduct("search", "batch-compute", 1, []string{"r1", "r2"}, 2000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ex.RunAuction(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	text := string(body[:n])
+	for _, want := range []string{
+		"market_orders_submitted_total 1",
+		"market_auctions_total 1",
+		"telemetry_events_published_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ = resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/healthz status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body[:n]), `"healthy":true`) {
+		t.Errorf("/healthz not healthy: %s", body[:n])
 	}
 }

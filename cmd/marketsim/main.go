@@ -11,6 +11,12 @@
 // flushing before epoch N's settlement wave and resurrected from its
 // WAL — the crash-recovery soak. Any fingerprint divergence exits 3.
 //
+// With -telemetry, every run carries a firehose subscriber and the
+// report is reconstructed from the event stream alone: the
+// reconstruction's fingerprint must equal the run's, proving the
+// telemetry pipeline is lossless and complete (the telemetry soak). A
+// stream divergence also exits 3.
+//
 // Exit codes:
 //
 //	0 — every run completed with every invariant intact
@@ -28,6 +34,7 @@ import (
 	"text/tabwriter"
 
 	"clustermarket/internal/scenario"
+	"clustermarket/internal/telemetry"
 )
 
 const (
@@ -56,6 +63,8 @@ func run(args []string, stdout, stderr *os.File) int {
 	snapshotEvery := fs.Int("snapshot-every", 3, "journal snapshot cadence for the journaled runs")
 	crashEpoch := fs.Int("crash-epoch", 0,
 		"kill-and-resurrect the journaled run before this epoch's settlement wave (requires -journal-dir)")
+	telem := fs.Bool("telemetry", false,
+		"attach a firehose subscriber to every run and require the report to be reconstructible from the event stream alone")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
@@ -90,7 +99,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	violations, diverged := 0, 0
 	for _, sc := range scenarios {
 		for _, kind := range kinds {
-			rep, err := runOne(sc, kind, cfg)
+			rep, rec, err := runOne(sc, kind, cfg, *telem)
 			if err != nil {
 				fmt.Fprintf(stderr, "marketsim: %s/%s: %v\n", sc.Name, kind, err)
 				return exitUsage
@@ -100,6 +109,7 @@ func run(args []string, stdout, stderr *os.File) int {
 				fmt.Fprintf(stderr, "marketsim: INVARIANT VIOLATED: %s/%s: %s\n", sc.Name, kind, v)
 			}
 			violations += len(rep.Violations)
+			diverged += checkStream(stdout, stderr, sc.Name, kind, "", rep, rec)
 
 			if *journalDir == "" {
 				continue
@@ -112,7 +122,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			jcfg.FsyncEvery = *fsyncEvery
 			jcfg.SnapshotEvery = *snapshotEvery
 			jcfg.CrashEpoch = *crashEpoch
-			jrep, err := runOne(sc, kind, jcfg)
+			jrep, jrec, err := runOne(sc, kind, jcfg, *telem)
 			if err != nil {
 				fmt.Fprintf(stderr, "marketsim: %s/%s (journaled): %v\n", sc.Name, kind, err)
 				return exitUsage
@@ -125,6 +135,7 @@ func run(args []string, stdout, stderr *os.File) int {
 			if *crashEpoch > 0 {
 				label = fmt.Sprintf("journaled, crashed at epoch %d", *crashEpoch)
 			}
+			diverged += checkStream(stdout, stderr, sc.Name, kind, label, jrep, jrec)
 			if jrep.Fingerprint() != rep.Fingerprint() {
 				fmt.Fprintf(stderr, "marketsim: DIVERGED: %s/%s (%s): fingerprint %s, baseline %s\n",
 					sc.Name, kind, label, jrep.Fingerprint()[:16], rep.Fingerprint()[:16])
@@ -147,14 +158,66 @@ func run(args []string, stdout, stderr *os.File) int {
 }
 
 // runOne builds the backend for cfg, drives the scenario, and releases
-// the backend's journals.
-func runOne(sc *scenario.Scenario, kind string, cfg scenario.Config) (*scenario.Report, error) {
+// the backend's journals. With telem set it additionally attaches a
+// firehose subscriber for the duration of the run and returns the
+// report reconstructed from the event stream alone; the subscriber is
+// drained concurrently, so the run never drops an event however long it
+// is.
+func runOne(sc *scenario.Scenario, kind string, cfg scenario.Config, telem bool) (*scenario.Report, *scenario.Report, error) {
+	var sub *telemetry.Subscription
+	var events []telemetry.Event
+	drained := make(chan struct{})
+	if telem {
+		fire := telemetry.NewFirehose()
+		sub = fire.Subscribe(1 << 12)
+		cfg.Telemetry = fire
+		go func() {
+			defer close(drained)
+			for ev := range sub.C {
+				events = append(events, ev)
+			}
+		}()
+	}
 	b, err := scenario.NewBackend(kind, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer b.Close()
-	return scenario.Run(sc, b, cfg)
+	rep, err := scenario.Run(sc, b, cfg)
+	if err != nil || sub == nil {
+		return rep, nil, err
+	}
+	sub.Close()
+	<-drained
+	if n := sub.Dropped(); n > 0 {
+		return rep, nil, fmt.Errorf("telemetry subscriber dropped %d events", n)
+	}
+	rec, err := scenario.ReconstructReport(sc.Name, kind, cfg.Seed, events)
+	if err != nil {
+		return rep, nil, fmt.Errorf("reconstructing report from event stream: %w", err)
+	}
+	return rep, rec, nil
+}
+
+// checkStream compares a run's fingerprint with its stream
+// reconstruction (when one was made), reporting a divergence the same
+// way the journal soak does. It returns the number of divergences (0 or
+// 1).
+func checkStream(stdout, stderr *os.File, name, kind, label string, rep, rec *scenario.Report) int {
+	if rec == nil {
+		return 0
+	}
+	what := "stream reconstruction"
+	if label != "" {
+		what = fmt.Sprintf("stream reconstruction (%s)", label)
+	}
+	if rec.Fingerprint() != rep.Fingerprint() {
+		fmt.Fprintf(stderr, "marketsim: DIVERGED: %s/%s: %s fingerprint %s, run %s\n",
+			name, kind, what, rec.Fingerprint()[:16], rep.Fingerprint()[:16])
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-18s %-10s %s matches run fingerprint %s\n", name, kind, what, rep.Fingerprint()[:16])
+	return 0
 }
 
 func printReport(w *os.File, rep *scenario.Report, verbose bool) {

@@ -68,3 +68,19 @@ func TestCrashEpochRequiresJournalDir(t *testing.T) {
 		t.Fatalf("exit code = %d, want %d", code, exitUsage)
 	}
 }
+
+func TestTelemetrySoak(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// Telemetry on top of the journaled crash run: the stream
+	// reconstruction must match for the in-memory baseline, the journaled
+	// rerun, and the crash-recovered rerun alike.
+	args := []string{"-scenario", "crash-recovery", "-backend", "both", "-seed", "42",
+		"-telemetry", "-journal-dir", t.TempDir(), "-crash-epoch", "3"}
+	if code := run(args, devnull, devnull); code != exitOK {
+		t.Fatalf("exit code = %d, want %d", code, exitOK)
+	}
+}

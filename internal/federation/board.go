@@ -31,8 +31,8 @@ func (f *Federation) Gossip() int {
 	f.mu.Lock()
 	tick := f.gossipTick + 1
 	f.gossipTick = tick
-	if f.journalingLocked() {
-		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: tick})
+	if f.materializingLocked() {
+		f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: tick})
 	}
 	f.mu.Unlock()
 
@@ -51,8 +51,8 @@ func (f *Federation) Gossip() int {
 			f.board[r.name] = q
 			// Journaled after the fact it was accepted: replay re-applies
 			// exactly the board updates that happened, in order.
-			if f.journalingLocked() {
-				f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: tick, Quote: &q})
+			if f.materializingLocked() {
+				f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: tick, Quote: &q})
 			}
 		}
 		f.mu.Unlock()
@@ -69,8 +69,8 @@ func (f *Federation) gossipRegionLocked(r *Region) {
 		return
 	}
 	f.board[r.name] = q
-	if f.journalingLocked() {
-		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick, Quote: &q})
+	if f.materializingLocked() {
+		f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: f.gossipTick, Quote: &q})
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
+	"clustermarket/internal/telemetry"
 )
 
 // Federation event kinds. Like the market's event stream, federation
@@ -24,12 +26,19 @@ const (
 	EvFedGossip = "fed-gossip"
 )
 
-// fedEvent is the single flat record type for the federation journal.
-// Order snapshots are deep copies, so adopting a decoded one at replay
-// shares nothing with other state. Stats rides along as the full
-// post-mutation counter set — carrying the absolute values instead of
-// deltas keeps replay idempotent per event.
-type fedEvent struct {
+// EventSource is the firehose Source value the federation router
+// publishes under; firehose consumers filtering routing events match
+// on it and type-assert Payload to *FedEvent.
+const EventSource = "fed"
+
+// FedEvent is the single flat record type for the federation journal
+// and the telemetry firehose. Order snapshots are deep copies, so
+// adopting a decoded one at replay — or reading a published one from a
+// firehose subscription — shares nothing with live routing state.
+// Stats rides along as the full post-mutation counter set — carrying
+// the absolute values instead of deltas keeps replay idempotent per
+// event.
+type FedEvent struct {
 	Kind  string    `json:"k"`
 	Order *FedOrder `json:"order,omitempty"`
 	Stats *Stats    `json:"stats,omitempty"`
@@ -37,37 +46,42 @@ type fedEvent struct {
 	Quote *Quote    `json:"quote,omitempty"`
 }
 
-// logEventLocked appends the event to the federation journal, if one is
-// attached. Callers hold f.mu, so journal order matches mutation order.
-// Append failures are sticky (journalErr) and surfaced by the next
-// SettleRegion/SubmitProduct/Cancel — advance paths deep in the router
-// have no error return to thread one through.
-func (f *Federation) logEventLocked(ev *fedEvent) {
-	if f.journal == nil || f.journalErr != nil {
-		return
+// emitLocked materializes the event to the routing journal (when one
+// is attached) and the telemetry firehose (when a subscriber is
+// listening). Callers hold f.mu, so journal order matches mutation
+// order. Append failures are sticky (journalErr) and surfaced by the
+// next SettleRegion/SubmitProduct/Cancel — advance paths deep in the
+// router have no error return to thread one through; an event that
+// failed to journal is still published, since the mutation it
+// describes did happen.
+func (f *Federation) emitLocked(ev *FedEvent) {
+	if f.journal != nil && f.journalErr == nil {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			f.journalErr = fmt.Errorf("federation: encode %s event: %w", ev.Kind, err)
+		} else if _, err := f.journal.Append(raw); err != nil {
+			f.journalErr = fmt.Errorf("federation: journal %s event: %w", ev.Kind, err)
+		}
 	}
-	raw, err := json.Marshal(ev)
-	if err != nil {
-		f.journalErr = fmt.Errorf("federation: encode %s event: %w", ev.Kind, err)
-		return
-	}
-	if _, err := f.journal.Append(raw); err != nil {
-		f.journalErr = fmt.Errorf("federation: journal %s event: %w", ev.Kind, err)
-	}
+	f.fire.Publish(EventSource, ev.Kind, ev)
 }
 
-// journalingLocked reports whether events are worth materializing at
-// all. Call sites check it before building a fedEvent so that the
-// in-memory federation (nil journal) pays one branch on its hot paths —
-// not an order deep-copy, a stats copy, and an event allocation that
-// logEventLocked would immediately discard. Callers must hold f.mu.
-func (f *Federation) journalingLocked() bool {
-	return f.journal != nil && f.journalErr == nil
+// materializingLocked reports whether events are worth building at
+// all: a journal is attached (and healthy) or a firehose subscriber is
+// listening. Call sites check it before building a FedEvent so that
+// the unwatched in-memory federation pays two branches on its hot
+// paths — not an order deep-copy, a stats copy, and an event
+// allocation that emitLocked would immediately discard. Callers must
+// hold f.mu.
+func (f *Federation) materializingLocked() bool {
+	return (f.journal != nil && f.journalErr == nil) || f.fire.Active()
 }
 
 // applyEvent is the deterministic mutator replay dispatches through.
-// Callers hold f.mu (or run single-threaded during recovery).
-func (f *Federation) applyEvent(ev *fedEvent) error {
+// Callers hold f.mu (or run single-threaded during recovery). Replay
+// never publishes to the firehose: a recovered router does not re-emit
+// its own history.
+func (f *Federation) applyEvent(ev *FedEvent) error {
 	switch ev.Kind {
 	case EvFedOrderSubmitted:
 		if ev.Order == nil || ev.Stats == nil {
@@ -113,4 +127,38 @@ func (f *Federation) applyEvent(ev *fedEvent) error {
 	default:
 		return fmt.Errorf("federation: unknown event kind %q", ev.Kind)
 	}
+}
+
+// AttachTelemetry attaches the firehose the router publishes routing
+// events to, under source "fed". Pass the same firehose to each
+// region's market.Config.Telemetry to get the regional order-book
+// events on the same stream. Telemetry is independent of journaling:
+// either, both, or neither may be attached.
+func (f *Federation) AttachTelemetry(fire *telemetry.Firehose) {
+	f.mu.Lock()
+	f.fire = fire
+	f.mu.Unlock()
+}
+
+// Telemetry returns the attached firehose, or nil.
+func (f *Federation) Telemetry() *telemetry.Firehose {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fire
+}
+
+// GossipTick returns the current gossip clock — a monotonic counter of
+// price-board refresh passes, exposed for /metrics.
+func (f *Federation) GossipTick() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.gossipTick
+}
+
+// Journal returns the router's attached journal, or nil — the /metrics
+// exposition reads its counters.
+func (f *Federation) Journal() *journal.Journal {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.journal
 }

@@ -11,6 +11,7 @@ import (
 	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
+	"clustermarket/internal/telemetry"
 )
 
 // Leg is one regional slice of a federated order: the subset of the
@@ -127,9 +128,11 @@ type Federation struct {
 
 	// journal, when attached, receives every routing state change as an
 	// event (see event.go); the regions journal their own books
-	// separately. All guarded by mu.
+	// separately. fire (possibly nil) receives the same events for live
+	// subscribers. All guarded by mu.
 	journal       *journal.Journal
 	journalErr    error
+	fire          *telemetry.Firehose
 	snapshotEvery int
 	settleCount   int
 }
@@ -297,9 +300,9 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 		f.stats.CrossRegion++
 	}
 	snap := fo.snapshot()
-	if f.journalingLocked() {
+	if f.materializingLocked() {
 		stats := f.stats
-		f.logEventLocked(&fedEvent{Kind: EvFedOrderSubmitted, Order: snap, Stats: &stats})
+		f.emitLocked(&FedEvent{Kind: EvFedOrderSubmitted, Order: snap, Stats: &stats})
 	}
 	logErr := f.journalErr
 	f.mu.Unlock()
@@ -424,13 +427,13 @@ func (f *Federation) advanceRegion(name string) {
 			fo.Active = -1
 			delete(f.open[name], id)
 		}
-		if changed && f.journalingLocked() {
+		if changed && f.materializingLocked() {
 			// The event carries the wholesale post-advance order state (a
 			// failover's new leg booking included) plus the absolute router
 			// counters, so replay reproduces this advance without touching
 			// the region.
 			stats := f.stats
-			f.logEventLocked(&fedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
+			f.emitLocked(&FedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
 		}
 	}
 }
@@ -456,9 +459,9 @@ func (f *Federation) Cancel(id int) error {
 	fo.Status = market.Cancelled
 	fo.Active = -1
 	delete(f.open[leg.Region], fo.ID)
-	if f.journalingLocked() {
+	if f.materializingLocked() {
 		stats := f.stats
-		f.logEventLocked(&fedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
+		f.emitLocked(&FedEvent{Kind: EvFedOrderUpdated, Order: fo.snapshot(), Stats: &stats})
 	}
 	return f.journalErr
 }
@@ -527,8 +530,8 @@ func (f *Federation) SettleRegion(name string) (*market.AuctionRecord, error) {
 	f.gossipTick++
 	// The bare tick event keeps the recovered gossip clock in step even
 	// when the quote itself cannot be refreshed.
-	if f.journalingLocked() {
-		f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
+	if f.materializingLocked() {
+		f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
 	}
 	f.gossipRegionLocked(r)
 	f.mu.Unlock()
@@ -595,8 +598,8 @@ func (f *Federation) Serve(ctx context.Context, epoch time.Duration) error {
 		loop.OnTick = func(rec *market.AuctionRecord, err error) {
 			f.mu.Lock()
 			f.gossipTick++
-			if f.journalingLocked() {
-				f.logEventLocked(&fedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
+			if f.materializingLocked() {
+				f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
 			}
 			f.gossipRegionLocked(region)
 			f.mu.Unlock()

@@ -24,7 +24,7 @@ type fedState struct {
 }
 
 // AttachJournal attaches the routing journal. Every subsequent routing
-// state change is logged as a fedEvent before SettleRegion returns, and
+// state change is logged as a FedEvent before SettleRegion returns, and
 // a snapshot is written every snapshotEvery settlements (non-positive
 // disables the cadence; Snapshot can still be called explicitly). When
 // recovering, call Restore first so replayed events are not re-journaled
@@ -102,7 +102,7 @@ func (f *Federation) Restore(rec *journal.Recovery) error {
 	}
 	for i, raw := range rec.Records {
 		seq := rec.SnapshotSeq + uint64(i) + 1
-		var ev fedEvent
+		var ev FedEvent
 		if err := json.Unmarshal(raw, &ev); err != nil {
 			return fmt.Errorf("federation: decode record at seq %d: %w", seq, err)
 		}

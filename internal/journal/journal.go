@@ -37,7 +37,11 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
+
+	"clustermarket/internal/telemetry"
 )
 
 // walMagic begins every WAL file; the trailing newline makes `head -1`
@@ -97,6 +101,50 @@ type Journal struct {
 	seq      uint64 // last assigned sequence number
 	unsynced int    // appends since the last fsync
 	dead     bool
+
+	// Operational counters behind /metrics. Atomic so Metrics never
+	// takes j.mu (a scrape must not contend with group commit); the
+	// fsync-latency histogram wraps the wal.Sync calls, which run under
+	// j.mu and so time exactly the commit path a writer waits on.
+	appends   atomic.Uint64
+	bytes     atomic.Uint64
+	fsyncs    atomic.Uint64
+	snapshots atomic.Uint64
+	fsyncLat  *telemetry.Histogram
+}
+
+// Metrics is a point-in-time copy of the journal's operational
+// counters.
+type Metrics struct {
+	// Appends and Bytes count framed records and frame bytes written to
+	// the WAL (headers included).
+	Appends, Bytes uint64
+	// Fsyncs counts group-commit fsyncs of the WAL; FsyncLatency is
+	// their latency distribution. Snapshots counts durable snapshot
+	// rotations.
+	Fsyncs, Snapshots uint64
+	FsyncLatency      telemetry.HistogramSnapshot
+}
+
+// Metrics snapshots the counters without taking the journal lock.
+func (j *Journal) Metrics() Metrics {
+	return Metrics{
+		Appends:      j.appends.Load(),
+		Bytes:        j.bytes.Load(),
+		Fsyncs:       j.fsyncs.Load(),
+		Snapshots:    j.snapshots.Load(),
+		FsyncLatency: j.fsyncLat.Snapshot(),
+	}
+}
+
+// syncWALLocked is the single timed fsync path: every WAL fsync goes
+// through here so the latency histogram and counter see them all.
+func (j *Journal) syncWALLocked() error {
+	start := time.Now()
+	err := j.wal.Sync()
+	j.fsyncLat.Observe(time.Since(start))
+	j.fsyncs.Add(1)
+	return err
 }
 
 type snapshotFile struct {
@@ -119,7 +167,7 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{dir: dir, opts: opts, lock: lock}
+	j := &Journal{dir: dir, opts: opts, lock: lock, fsyncLat: telemetry.NewFsyncHistogram()}
 	rec, err := j.recover()
 	if err != nil {
 		lock.Close()
@@ -352,6 +400,8 @@ func (j *Journal) AppendBatch(payloads [][]byte) (uint64, error) {
 	if _, err := j.wal.Write(buf); err != nil {
 		return 0, fmt.Errorf("journal: append: %w", err)
 	}
+	j.appends.Add(uint64(len(payloads)))
+	j.bytes.Add(uint64(len(buf)))
 	j.seq += uint64(len(payloads))
 	j.unsynced += len(payloads)
 	if err := j.maybeSyncLocked(); err != nil {
@@ -368,6 +418,8 @@ func (j *Journal) appendLocked(payload []byte) (uint64, error) {
 	if _, err := j.wal.Write(buf); err != nil {
 		return 0, fmt.Errorf("journal: append: %w", err)
 	}
+	j.appends.Add(1)
+	j.bytes.Add(uint64(len(buf)))
 	j.seq++
 	j.unsynced++
 	if err := j.maybeSyncLocked(); err != nil {
@@ -388,7 +440,7 @@ func (j *Journal) maybeSyncLocked() error {
 	if j.unsynced < j.opts.FsyncEvery {
 		return nil
 	}
-	if err := j.wal.Sync(); err != nil {
+	if err := j.syncWALLocked(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	j.unsynced = 0
@@ -406,7 +458,7 @@ func (j *Journal) Sync() error {
 	if j.unsynced == 0 {
 		return nil
 	}
-	if err := j.wal.Sync(); err != nil {
+	if err := j.syncWALLocked(); err != nil {
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	j.unsynced = 0
@@ -463,6 +515,7 @@ func (j *Journal) Snapshot(state []byte) error {
 	}
 	j.wal = f
 	j.unsynced = 0
+	j.snapshots.Add(1)
 	return nil
 }
 

@@ -106,7 +106,7 @@ func (e *Exchange) Disburse(policy DisbursementPolicy, total float64) error {
 		credits = append(credits, Credit{Team: team, Amount: amount})
 	}
 	ev := &Event{Kind: EvDisbursed, Policy: policy.String(), Auction: e.AuctionCount(), Credits: credits}
-	if err := e.logEvent(ev); err != nil {
+	if err := e.emitEvent(ev); err != nil {
 		return err
 	}
 	return e.applyDisbursed(ev)

@@ -81,29 +81,42 @@ type Event struct {
 	TaskID     string          `json:"task,omitempty"`
 }
 
-// logEvent appends the event to the journal, if one is attached. Every
-// call site either holds the lock guarding the state the event
-// describes (a stripe lock, settleMu) or runs single-threaded, so the
-// journal's sequence order is consistent with the order mutations
-// become visible.
-func (e *Exchange) logEvent(ev *Event) error {
-	if e.journal == nil {
-		return nil
+// EventSource is the firehose Source value the exchange publishes
+// under; firehose consumers filtering market events match on it and
+// type-assert Payload to *Event.
+const EventSource = "market"
+
+// emitEvent materializes the event to both sinks: the journal (when
+// one is attached, appended *before* the telemetry publish so a
+// journal failure never produces a phantom event on the wire) and the
+// telemetry firehose (when a subscriber is listening). Every call site
+// either holds the lock guarding the state the event describes (a
+// stripe lock, settleMu) or runs single-threaded, so the journal's
+// sequence order is consistent with the order mutations become
+// visible. Replay never comes through here — recovery dispatches
+// straight to applyEvent — so a recovered process does not re-publish
+// its own history.
+func (e *Exchange) emitEvent(ev *Event) error {
+	if e.journal != nil {
+		raw, err := json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("market: encode %s event: %w", ev.Kind, err)
+		}
+		if _, err := e.journal.Append(raw); err != nil {
+			return fmt.Errorf("market: journal %s event: %w", ev.Kind, err)
+		}
 	}
-	raw, err := json.Marshal(ev)
-	if err != nil {
-		return fmt.Errorf("market: encode %s event: %w", ev.Kind, err)
-	}
-	if _, err := e.journal.Append(raw); err != nil {
-		return fmt.Errorf("market: journal %s event: %w", ev.Kind, err)
-	}
+	e.fire.Publish(EventSource, ev.Kind, ev)
 	return nil
 }
 
-// journaling reports whether the exchange has a journal attached. The
-// hot paths whose events exist only for the journal (submit, cancel,
-// account opening — the settlement events also drive applyEvent and are
-// materialized regardless) check it before building an Event, so the
-// in-memory exchange pays one branch instead of an allocation that
-// logEvent would immediately discard.
-func (e *Exchange) journaling() bool { return e.journal != nil }
+// materializing reports whether events have anywhere to go: a journal,
+// a firehose subscriber, or both. The hot paths whose events exist
+// only for those sinks (submit, cancel, account opening — the
+// settlement events also drive applyEvent and are materialized
+// regardless) check it before building an Event, so the in-memory,
+// unwatched exchange pays two branches instead of an allocation that
+// emitEvent would immediately discard. Telemetry and journaling are
+// deliberately decoupled here: Config.Telemetry works with or without
+// a WAL, feeding both from the same typed event stream.
+func (e *Exchange) materializing() bool { return e.journal != nil || e.fire.Active() }

@@ -13,6 +13,7 @@ import (
 	"clustermarket/internal/reserve"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/stats"
+	"clustermarket/internal/telemetry"
 )
 
 // OperatorAccount is the reserved account name under which the system
@@ -184,6 +185,12 @@ type Config struct {
 	// SnapshotEvery is the auction interval between journal snapshots
 	// (default 64; negative disables snapshots). Ignored without Journal.
 	SnapshotEvery int
+	// Telemetry, when non-nil, receives every state-change event the
+	// journal would — whether or not a journal is attached — published
+	// to the firehose under source "market". With no subscriber the
+	// publish path is one atomic load and a branch; events are not even
+	// materialized.
+	Telemetry *telemetry.Firehose
 }
 
 func (c *Config) applyDefaults() {
@@ -271,10 +278,17 @@ type Exchange struct {
 	history []*AuctionRecord
 
 	// journal, when non-nil, receives every state change as an event
-	// before it is applied (see event.go); delta tracks how PlaceOrder
+	// before it is applied (see event.go); fire (possibly nil) receives
+	// the same events for live subscribers; delta tracks how PlaceOrder
 	// and EvictTask have diverged the fleet from its as-built state so
 	// snapshots can reproduce it.
 	journal *journal.Journal
+	fire    *telemetry.Firehose
+	// metrics is the always-on atomic counter block behind /metrics;
+	// counting is lock-free and increments happen on the live path only
+	// (never during replay), so a recovered process restarts its
+	// counters — the standard Prometheus counter-reset contract.
+	metrics exchangeMetrics
 	delta   fleetDelta
 }
 
@@ -305,6 +319,7 @@ func NewExchange(fleet *cluster.Fleet, cfg Config) (*Exchange, error) {
 	op := e.accountShardFor(OperatorAccount)
 	op.balances[OperatorAccount] = 0
 	e.journal = cfg.Journal
+	e.fire = cfg.Telemetry
 	return e, nil
 }
 
@@ -334,8 +349,8 @@ func (e *Exchange) OpenAccount(team string) error {
 	}
 	// The event captures the granted balance, so replay is independent of
 	// the recovering process's configured budget.
-	if e.journaling() {
-		if err := e.logEvent(&Event{Kind: EvAccountOpened, Team: team, Balance: e.cfg.InitialBudget}); err != nil {
+	if e.materializing() {
+		if err := e.emitEvent(&Event{Kind: EvAccountOpened, Team: team, Balance: e.cfg.InitialBudget}); err != nil {
 			return err
 		}
 	}
@@ -362,7 +377,7 @@ func (e *Exchange) Balance(team string) (float64, error) {
 // poll Order/Orders for settlement status.
 func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 	if bid == nil {
-		return nil, errors.New("market: nil bid")
+		return nil, e.rejected(errors.New("market: nil bid"))
 	}
 	b := *bid
 	// Deep-copy the bundles: the clock reads booked bids lock-free, so
@@ -376,7 +391,7 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 		b.User = team
 	}
 	if err := b.Validate(e.reg.Len()); err != nil {
-		return nil, err
+		return nil, e.rejected(err)
 	}
 
 	// Budget pre-check on the team's account stripe, without committing.
@@ -404,7 +419,7 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 	err := budgetOK()
 	as.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, e.rejected(err)
 	}
 
 	// Book the order into the next stripe round-robin. The ID is
@@ -426,11 +441,11 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 		// (IDs derive from stripe lengths, not the rotation counter).
 		as.mu.Unlock()
 		os.mu.Unlock()
-		return nil, err
+		return nil, e.rejected(err)
 	}
 	o := &Order{ID: len(os.orders)*n + sIdx, Team: team, Bid: &b, Status: Open, Auction: -1}
-	if e.journaling() {
-		if err := e.logEvent(&Event{Kind: EvOrderSubmitted, OrderID: o.ID, Team: team, Bid: &b}); err != nil {
+	if e.materializing() {
+		if err := e.emitEvent(&Event{Kind: EvOrderSubmitted, OrderID: o.ID, Team: team, Bid: &b}); err != nil {
 			as.mu.Unlock()
 			os.mu.Unlock()
 			return nil, err
@@ -440,6 +455,7 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 	as.mu.Unlock()
 	snap := o.snapshot()
 	os.mu.Unlock()
+	e.metrics.submitted.Add(1)
 	return snap, nil
 }
 
@@ -498,13 +514,13 @@ func (e *Exchange) appendLedger(entries []LedgerEntry) {
 func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []string, limit float64) (*Order, error) {
 	p, err := e.catalog.Lookup(product)
 	if err != nil {
-		return nil, err
+		return nil, e.rejected(err)
 	}
 	if qty <= 0 {
-		return nil, fmt.Errorf("market: quantity must be positive, got %g", qty)
+		return nil, e.rejected(fmt.Errorf("market: quantity must be positive, got %g", qty))
 	}
 	if len(clusters) == 0 {
-		return nil, errors.New("market: no clusters named")
+		return nil, e.rejected(errors.New("market: no clusters named"))
 	}
 	cover := p.Cover(qty)
 	var bundles []resource.Vector
@@ -518,7 +534,7 @@ func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []s
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("market: unknown cluster %q", cl)
+			return nil, e.rejected(fmt.Errorf("market: unknown cluster %q", cl))
 		}
 		bundles = append(bundles, v)
 	}
@@ -547,8 +563,8 @@ func (e *Exchange) Cancel(id int) error {
 	// Log and mutate under the same stripe critical section as the check:
 	// dropping the lock in between would let a claimBatch sweep the order
 	// into a clock the journaled cancellation says never saw it.
-	if e.journaling() {
-		if err := e.logEvent(&Event{Kind: EvOrderCancelled, OrderID: id}); err != nil {
+	if e.materializing() {
+		if err := e.emitEvent(&Event{Kind: EvOrderCancelled, OrderID: id}); err != nil {
 			os.mu.Unlock()
 			return err
 		}
@@ -557,6 +573,7 @@ func (e *Exchange) Cancel(id int) error {
 	os.openCount--
 	os.mu.Unlock()
 	e.releaseCommitment(o)
+	e.metrics.cancelled.Add(1)
 	return nil
 }
 
@@ -1000,11 +1017,12 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 			if o.Attempts+1 >= e.cfg.MaxAuctionAttempts {
 				ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num,
 					Status: Unsettled, Attempts: o.Attempts + 1}
+				e.metrics.unsettled.Add(1)
 			} else {
 				ev = &Event{Kind: EvOrderAttempted, OrderID: o.ID, Auction: num,
 					Attempts: o.Attempts + 1}
 			}
-			if err := e.logEvent(ev); err != nil {
+			if err := e.emitEvent(ev); err != nil {
 				return nil, nil, err
 			}
 			if err := e.applyEvent(ev); err != nil {
@@ -1012,12 +1030,15 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 			}
 		}
 		recEv := &Event{Kind: EvAuctionCleared, Record: rec}
-		if err := e.logEvent(recEv); err != nil {
+		if err := e.emitEvent(recEv); err != nil {
 			return nil, nil, err
 		}
 		if err := e.applyEvent(recEv); err != nil {
 			return nil, nil, err
 		}
+		e.metrics.auctions.Add(1)
+		e.metrics.noConvergence.Add(1)
+		e.metrics.rounds.Add(uint64(res.Rounds))
 		if err := e.maybeSnapshotLocked(num); err != nil {
 			return rec, res, err
 		}
@@ -1034,14 +1055,16 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 			ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num, Status: Won,
 				Allocation: res.Allocations[i], Payment: res.Payments[i]}
 			rec.Settled++
+			e.metrics.won.Add(1)
 			// γ_u is measured against the limit that governed the *winning*
 			// bundle: for vector-limit bids the scalar Limit is ignored by the
 			// proxy, so using it here would corrupt the Table I statistics.
 			rec.Premiums = append(rec.Premiums, core.Premium(o.Bid.LimitFor(res.ChosenBundle[i]), res.Payments[i]))
 		} else {
 			ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num, Status: Lost}
+			e.metrics.lost.Add(1)
 		}
-		if err := e.logEvent(ev); err != nil {
+		if err := e.emitEvent(ev); err != nil {
 			return nil, nil, err
 		}
 		if err := e.applyEvent(ev); err != nil {
@@ -1054,12 +1077,15 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 	// exchange clears every trade against the operator account), so no
 	// further entry is needed here.
 	recEv := &Event{Kind: EvAuctionCleared, Record: rec}
-	if err := e.logEvent(recEv); err != nil {
+	if err := e.emitEvent(recEv); err != nil {
 		return nil, nil, err
 	}
 	if err := e.applyEvent(recEv); err != nil {
 		return nil, nil, err
 	}
+	e.metrics.auctions.Add(1)
+	e.metrics.converged.Add(1)
+	e.metrics.rounds.Add(uint64(res.Rounds))
 	if err := e.maybeSnapshotLocked(num); err != nil {
 		return rec, res, err
 	}

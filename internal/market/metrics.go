@@ -1,0 +1,103 @@
+package market
+
+import (
+	"sync/atomic"
+
+	"clustermarket/internal/journal"
+	"clustermarket/internal/telemetry"
+)
+
+// exchangeMetrics is the always-on atomic counter block the /metrics
+// exposition reads. Increments ride the live paths that already hold
+// the relevant locks (or need none — these are single atomic adds);
+// replay never increments, so after crash recovery the counters
+// restart from zero like any restarted Prometheus target.
+type exchangeMetrics struct {
+	submitted     atomic.Uint64
+	rejectedCount atomic.Uint64
+	cancelled     atomic.Uint64
+	won           atomic.Uint64
+	lost          atomic.Uint64
+	unsettled     atomic.Uint64
+	auctions      atomic.Uint64
+	converged     atomic.Uint64
+	noConvergence atomic.Uint64
+	rounds        atomic.Uint64
+}
+
+// rejected counts one rejected submission and passes the error
+// through, so rejection sites stay one-line.
+func (e *Exchange) rejected(err error) error {
+	e.metrics.rejectedCount.Add(1)
+	return err
+}
+
+// Metrics is a point-in-time copy of the exchange's operational
+// counters.
+type Metrics struct {
+	// Order intake.
+	Submitted, Rejected, Cancelled uint64
+	// Settlement outcomes (orders).
+	Won, Lost, Unsettled uint64
+	// Clock auctions: total runs, convergence split, and the cumulative
+	// round count (rate(Rounds)/rate(Auctions) is the mean clock length).
+	Auctions, Converged, NoConvergence, Rounds uint64
+}
+
+// Metrics snapshots the counters. Each field is read atomically; the
+// set is not one consistent cut, which is exactly a Prometheus
+// scrape's contract.
+func (e *Exchange) Metrics() Metrics {
+	return Metrics{
+		Submitted:     e.metrics.submitted.Load(),
+		Rejected:      e.metrics.rejectedCount.Load(),
+		Cancelled:     e.metrics.cancelled.Load(),
+		Won:           e.metrics.won.Load(),
+		Lost:          e.metrics.lost.Load(),
+		Unsettled:     e.metrics.unsettled.Load(),
+		Auctions:      e.metrics.auctions.Load(),
+		Converged:     e.metrics.converged.Load(),
+		NoConvergence: e.metrics.noConvergence.Load(),
+		Rounds:        e.metrics.rounds.Load(),
+	}
+}
+
+// OpenOrdersPerStripe returns each order stripe's open-order count —
+// the stripe-balance view /metrics exposes so a hot stripe (one
+// stripe's lock contended far above its peers) is visible from the
+// outside.
+func (e *Exchange) OpenOrdersPerStripe() []int {
+	out := make([]int, len(e.orderShards))
+	for s := range e.orderShards {
+		os := &e.orderShards[s]
+		os.mu.RLock()
+		out[s] = os.openCount
+		os.mu.RUnlock()
+	}
+	return out
+}
+
+// CommitmentsPerStripe returns each account stripe's total open
+// buy-side budget commitment.
+func (e *Exchange) CommitmentsPerStripe() []float64 {
+	out := make([]float64, len(e.accountShards))
+	for s := range e.accountShards {
+		as := &e.accountShards[s]
+		as.mu.RLock()
+		var sum float64
+		for _, exp := range as.openBuy {
+			sum += exp
+		}
+		out[s] = sum
+		as.mu.RUnlock()
+	}
+	return out
+}
+
+// Telemetry returns the firehose the exchange publishes to, or nil.
+func (e *Exchange) Telemetry() *telemetry.Firehose { return e.fire }
+
+// Journal returns the attached journal, or nil. The /metrics exposition
+// reads its counters; the journal is set before the exchange is shared
+// and never swapped live, so the unlocked read is safe.
+func (e *Exchange) Journal() *journal.Journal { return e.journal }

@@ -28,7 +28,7 @@ func (e *Exchange) PlaceOrder(id int) ([]PlacedTask, error) {
 		return nil, fmt.Errorf("market: placing order %d in state %s", id, status)
 	}
 	ev := &Event{Kind: EvOrderPlaced, OrderID: id}
-	if err := e.logEvent(ev); err != nil {
+	if err := e.emitEvent(ev); err != nil {
 		return nil, err
 	}
 	return e.applyOrderPlaced(ev)
@@ -47,7 +47,7 @@ func (e *Exchange) EvictTask(clusterName, taskID string) error {
 		return fmt.Errorf("market: no task %q in cluster %q", taskID, clusterName)
 	}
 	ev := &Event{Kind: EvTaskEvicted, Cluster: clusterName, TaskID: taskID}
-	if err := e.logEvent(ev); err != nil {
+	if err := e.emitEvent(ev); err != nil {
 		return err
 	}
 	return e.applyTaskEvicted(ev)
@@ -83,7 +83,7 @@ func (e *Exchange) Credit(team string, amount float64, memo string) error {
 	defer e.settleMu.Unlock()
 	ev := &Event{Kind: EvBalanceCredited, Team: team, Amount: amount,
 		Auction: e.AuctionCount(), Memo: memo}
-	if err := e.logEvent(ev); err != nil {
+	if err := e.emitEvent(ev); err != nil {
 		return err
 	}
 	return e.applyBalanceCredited(ev)

@@ -150,6 +150,7 @@ func marketConfig(cfg Config) market.Config {
 		MaxRounds:     cfg.MaxRounds,
 		Shards:        cfg.Shards,
 		SnapshotEvery: cfg.SnapshotEvery,
+		Telemetry:     cfg.Telemetry,
 	}
 }
 
@@ -451,6 +452,10 @@ func NewFederationBackend(cfg Config) (Backend, error) {
 		closeAll()
 		return nil, err
 	}
+	// The router publishes its routing events to the same firehose the
+	// regional exchanges got through marketConfig, so one subscription
+	// sees the whole federated stream.
+	fed.AttachTelemetry(cfg.Telemetry)
 	if cfg.JournalDir != "" {
 		fj, err := openFreshJournal(filepath.Join(cfg.JournalDir, fedJournalName), cfg)
 		if err != nil {
@@ -521,6 +526,9 @@ func (b *federationBackend) CrashRecover() error {
 		return err
 	}
 	fed.AttachJournal(fj, cfg.SnapshotEvery)
+	// Replay itself published nothing (recovery dispatches straight to
+	// applyEvent); the resurrected router rejoins the live stream here.
+	fed.AttachTelemetry(cfg.Telemetry)
 	if vs := invariant.CheckFederation(fed); len(vs) > 0 {
 		closeAll()
 		return fmt.Errorf("scenario: recovered federation fails invariants: %s", vs[0])

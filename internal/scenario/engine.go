@@ -15,6 +15,7 @@ import (
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
 	"clustermarket/internal/stats"
+	"clustermarket/internal/telemetry"
 )
 
 // The operator's real unit costs — the pre-market fixed prices bidders
@@ -71,6 +72,15 @@ type Config struct {
 	// from disk — the run must continue bit-identically (the crash-recovery
 	// scenario's fingerprint check enforces it). Requires JournalDir.
 	CrashEpoch int
+	// Telemetry, when non-nil, streams the run onto the firehose: the
+	// backend's exchanges (and the federation router) publish their event
+	// streams, and the engine adds scenario-source epoch markers —
+	// epoch-start, submit-rejected, epoch-end — so a subscriber can
+	// reconstruct the run's fingerprint from the stream alone (see
+	// ReconstructReport). Telemetry is independent of JournalDir: either,
+	// both, or neither may be set. Pass the same Config to NewBackend and
+	// Run so backend and engine publish to the same firehose.
+	Telemetry *telemetry.Firehose
 
 	rng *rand.Rand
 }
@@ -447,6 +457,16 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 	}
 	s.Teams = len(e.teams)
 
+	// The epoch-start marker opens the epoch's window on the firehose:
+	// every backend event until the matching epoch-end belongs to this
+	// epoch. It is published after churn (so Teams is final) and before
+	// demand generation (so every submit lands inside the window).
+	e.cfg.Telemetry.Publish(EventSource, EvEpochStart, &EpochStartEvent{
+		Epoch: epoch,
+		Teams: s.Teams,
+		Dark:  append([]string(nil), s.Dark...),
+	})
+
 	// 4. Demand generation.
 	spotRegion := liveRegions[0]
 	var spots []spotBid
@@ -488,8 +508,11 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 		id, err := e.b.SubmitProduct(tm.name, product, qty, clusters, limit)
 		if err != nil {
 			// Over budget (or a leg rejected everywhere): a normal epoch
-			// outcome for a drained account, not an engine failure.
+			// outcome for a drained account, not an engine failure. Rejected
+			// submissions never reach the backend's event stream, so the
+			// engine publishes the marker itself.
 			s.Rejected++
+			e.cfg.Telemetry.Publish(EventSource, EvSubmitRejected, &RejectEvent{Epoch: epoch, Kind: "product"})
 			continue
 		}
 		s.Submitted++
@@ -510,6 +533,7 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 			s.StormBids += 2
 		} else {
 			s.Rejected++
+			e.cfg.Telemetry.Publish(EventSource, EvSubmitRejected, &RejectEvent{Epoch: epoch, Kind: "storm"})
 		}
 	}
 
@@ -599,6 +623,17 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 	}
 	e.epochViolations = vs
 	s.Violations = len(vs)
+
+	// The epoch-end marker closes the window and carries the engine-side
+	// observations a backend's event stream cannot know: open orders and
+	// prices are point-in-time reads, violations come from the invariant
+	// kernel the engine itself ran.
+	e.cfg.Telemetry.Publish(EventSource, EvEpochEnd, &EpochEndEvent{
+		Epoch:      epoch,
+		OpenOrders: s.OpenOrders,
+		Violations: s.Violations,
+		Prices:     append([]RegionPrice(nil), s.Prices...),
+	})
 	return s, nil
 }
 

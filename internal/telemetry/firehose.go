@@ -1,0 +1,216 @@
+// Package telemetry is the market's operational nervous system: a
+// non-blocking event firehose the exchange, federation router, and
+// scenario engine publish typed events into, plus the hand-rolled
+// Prometheus text exposition and health probe types the web front end
+// and marketd serve from.
+//
+// The firehose contract is built around one asymmetry: publishers are
+// hot paths (order submission, settlement) and must never block or
+// allocate for observability; subscribers are ops tooling (an SSE
+// stream, a test harness) that may stall arbitrarily. So every
+// subscriber owns a bounded buffered channel, and a publisher that
+// finds it full drops the *oldest* buffered event — counting the drop
+// on the subscriber — and delivers the new one. A live ops view wants
+// the freshest state; a consumer that needs a lossless stream sizes
+// its buffer for its lag and asserts Dropped() == 0, which is exactly
+// what the scenario fingerprint-reconstruction test does.
+//
+// With no subscriber attached, Publish is one atomic load and a
+// branch: no event is materialized at all. Event materialization is
+// therefore decoupled from journaling — an exchange publishes the same
+// typed events to the firehose whether or not a WAL is attached, and
+// replay (which re-applies journaled events) publishes nothing, so a
+// recovered process does not re-emit its own history.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one firehose record. Source identifies the publisher
+// ("market", "fed", "scenario"), Kind is the publisher's own event
+// kind (e.g. "order-settled"), and Payload is the publisher's typed
+// event value — shared, not copied, so subscribers must treat it as
+// immutable. Seq is a firehose-global sequence number assigned at
+// publish; gaps in a subscriber's observed Seq are not drops (drops
+// are counted per subscriber), just events published before it
+// subscribed or filtered by source.
+type Event struct {
+	Seq     uint64
+	Source  string
+	Kind    string
+	Payload any
+}
+
+// Firehose is a bounded pub/sub fan-out. The zero value is not usable;
+// use NewFirehose. A nil *Firehose is a valid no-op publisher: Active
+// reports false and Publish returns immediately, so components hold a
+// possibly-nil *Firehose and publish unconditionally guarded by one
+// Active() branch.
+type Firehose struct {
+	seq     atomic.Uint64
+	active  atomic.Int64                    // current subscriber count
+	dropped atomic.Uint64                   // total drops across all subscribers
+	subs    atomic.Pointer[[]*Subscription] // copy-on-write subscriber list
+	mu      sync.Mutex                      // serializes Subscribe/Unsubscribe
+}
+
+// NewFirehose returns an empty firehose.
+func NewFirehose() *Firehose {
+	f := &Firehose{}
+	subs := make([]*Subscription, 0)
+	f.subs.Store(&subs)
+	return f
+}
+
+// Active reports whether at least one subscriber is attached. It is
+// the publisher fast path: one atomic load and one branch, nil-safe,
+// so hot paths check it before building an event payload and pay
+// nothing for telemetry nobody is watching.
+func (f *Firehose) Active() bool {
+	return f != nil && f.active.Load() > 0
+}
+
+// Publish fans the event out to every subscriber without blocking.
+// A subscriber whose buffer is full loses its oldest buffered event
+// (counted on that subscriber's Dropped) in favor of this one.
+// Publish is safe for concurrent use and nil-safe.
+func (f *Firehose) Publish(source, kind string, payload any) {
+	if f == nil || f.active.Load() == 0 {
+		return
+	}
+	ev := Event{Seq: f.seq.Add(1), Source: source, Kind: kind, Payload: payload}
+	subs := f.subs.Load()
+	if subs == nil {
+		return
+	}
+	for _, s := range *subs {
+		s.send(ev)
+	}
+}
+
+// Published returns the total number of events published (the current
+// sequence number).
+func (f *Firehose) Published() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.seq.Load()
+}
+
+// Subscribers returns the current subscriber count.
+func (f *Firehose) Subscribers() int {
+	if f == nil {
+		return 0
+	}
+	return int(f.active.Load())
+}
+
+// Dropped returns the total number of events dropped across all
+// subscribers, including subscribers that have since closed.
+func (f *Firehose) Dropped() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dropped.Load()
+}
+
+// Subscribe attaches a new subscriber with a buffer of the given size
+// (clamped to at least 1). The caller receives events on C and must
+// Close the subscription when done; an abandoned open subscription
+// degrades into a drop-everything sink but never blocks publishers.
+func (f *Firehose) Subscribe(buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Event, buf)
+	s := &Subscription{f: f, ch: ch, C: ch}
+	f.mu.Lock()
+	old := *f.subs.Load()
+	next := make([]*Subscription, len(old)+1)
+	copy(next, old)
+	next[len(old)] = s
+	f.subs.Store(&next)
+	f.active.Add(1)
+	f.mu.Unlock()
+	return s
+}
+
+// unsubscribe removes s from the copy-on-write list. Idempotent.
+func (f *Firehose) unsubscribe(s *Subscription) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := *f.subs.Load()
+	for i, cand := range old {
+		if cand == s {
+			next := make([]*Subscription, 0, len(old)-1)
+			next = append(next, old[:i]...)
+			next = append(next, old[i+1:]...)
+			f.subs.Store(&next)
+			f.active.Add(-1)
+			return
+		}
+	}
+}
+
+// Subscription is one attached consumer. Receive events from C; call
+// Close when done (C is closed by Close, so ranging over it
+// terminates).
+type Subscription struct {
+	f  *Firehose
+	ch chan Event
+	// C delivers the subscription's events. It is the same channel
+	// send targets; exposed receive-only.
+	C       <-chan Event
+	dropped atomic.Uint64
+
+	mu     sync.Mutex // serializes send vs. send and send vs. Close
+	closed bool
+}
+
+// send delivers ev with drop-oldest semantics. The subscription mutex
+// makes the close race safe (no send on a closed channel) and
+// serializes concurrent publishers' drop loops; every operation under
+// it is non-blocking, so publishers contend only with each other for
+// nanoseconds, never with the subscriber.
+func (s *Subscription) send(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- ev:
+			return
+		default:
+		}
+		// Buffer full: evict the oldest buffered event and retry. The
+		// receiver may race us to it, in which case the retry succeeds
+		// without a drop.
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			s.f.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// Dropped returns how many events this subscriber has lost to
+// drop-oldest eviction. It is monotonic and safe to read concurrently
+// with delivery.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscriber and closes C. Events already buffered
+// are still readable (closed channels drain). Idempotent.
+func (s *Subscription) Close() {
+	s.f.unsubscribe(s)
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+	s.mu.Unlock()
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"clustermarket/internal/federation"
+	"clustermarket/internal/telemetry"
 )
 
 // FedServer is the federation's global front end: a planet-wide market
@@ -18,6 +19,8 @@ type FedServer struct {
 	fed    *federation.Federation
 	mux    *http.ServeMux
 	global *template.Template
+	// health backs /healthz; nil serves a bare always-healthy snapshot.
+	health *telemetry.Health
 }
 
 // NewFederated builds the global front end over a federation.
@@ -33,6 +36,9 @@ func NewFederated(f *federation.Federation) *FedServer {
 	s.mux.HandleFunc("/", s.handleGlobal)
 	s.mux.HandleFunc("/bid/submit", s.handleGlobalBid)
 	s.mux.HandleFunc("/api/federation.json", s.handleFederationJSON)
+	s.mux.HandleFunc("/api/events", s.handleEvents)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	for _, r := range f.Regions() {
 		prefix := "/region/" + r.Name()
 		s.mux.Handle(prefix+"/", http.StripPrefix(prefix, NewWithPrefix(r.Exchange(), prefix)))

@@ -19,6 +19,7 @@ import (
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
+	"clustermarket/internal/telemetry"
 )
 
 // Server exposes one Exchange over HTTP. The Exchange is safe for
@@ -46,6 +47,9 @@ type Server struct {
 	pricesMu  sync.Mutex
 	pricesAt  time.Time
 	pricesVal *pricesView
+
+	// health backs /healthz; nil serves a bare always-healthy snapshot.
+	health *telemetry.Health
 }
 
 // pricesView is the wire form of /api/prices.json: the preliminary
@@ -104,6 +108,9 @@ func NewWithPrefix(ex *market.Exchange, prefix string) *Server {
 	s.mux.HandleFunc("/api/history.json", s.handleHistoryJSON)
 	s.mux.HandleFunc("/api/auctions.json", s.handleAuctionsJSON)
 	s.mux.HandleFunc("/api/orders.json", s.handleOrdersJSON)
+	s.mux.HandleFunc("/api/events", s.handleEvents)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
