@@ -1,21 +1,47 @@
+# clustermarket build entry points. `make help` lists the targets;
+# `make all` is the local pre-push gate (lint + build + test), and the
+# remaining targets are the CI legs (race, soaks, coverage, fuzz,
+# bench gate) runnable individually.
 GO ?= go
 
-.PHONY: all build test race vet bench bench-baseline bench-compare \
+.PHONY: all build test race vet lint vulncheck help \
+	bench bench-baseline bench-compare \
 	soak soak-race soak-crash soak-telemetry cover cover-update fuzz bench-ci
 
-all: vet build test
+all: lint build test ## Lint, build, and test: the local pre-push gate
 
-build:
+help: ## List targets
+	@awk 'BEGIN {FS = ":.*##"} /^[a-zA-Z_-]+:.*##/ {printf "  %-16s %s\n", $$1, $$2}' $(MAKEFILE_LIST)
+
+build: ## Compile every package
 	$(GO) build ./...
 
-test:
+test: ## Run the full test suite
 	$(GO) test ./...
 
-race:
+race: ## Run the full test suite under the race detector
 	$(GO) test -race ./...
 
-vet:
+vet: ## Run go vet
 	$(GO) vet ./...
+
+# Static analysis: go vet, then the repo's own marketlint analyzers
+# (maporder, replaypure, allocfree, lockdiscipline — see DESIGN.md,
+# "Static analysis & contracts") driven through vet's -vettool unit
+# protocol. staticcheck joins when installed; the CI lint job pins and
+# caches it, while a bare dev container skips it rather than failing.
+MARKETLINT := bin/marketlint
+lint: vet ## go vet + marketlint (+ staticcheck when installed)
+	$(GO) build -o $(MARKETLINT) ./cmd/marketlint
+	$(GO) vet -vettool=$(MARKETLINT) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping (the CI lint job runs it)"; \
+	fi
+
+vulncheck: ## govulncheck against the checked-in ignore list
+	./scripts/vulncheck.sh
 
 # One pass over every benchmark; doubles as a smoke check of the
 # reproduced paper results (shape metrics are reported alongside timing).

@@ -1,0 +1,113 @@
+// Command marketlint is the repo's static-analysis gate: a
+// multichecker over the four contract analyzers (maporder, replaypure,
+// allocfree, lockdiscipline — see internal/analysis and DESIGN.md
+// "Static analysis & contracts").
+//
+// It speaks the `go vet -vettool` unit protocol, so the same binary
+// serves two invocations:
+//
+//	marketlint ./...            # standalone: wraps `go vet -vettool=self`
+//	go vet -vettool=$(which marketlint) ./...
+//
+// Exit status: 0 clean, 1 driver error, nonzero on findings (go vet
+// reports the findings and fails the build).
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"clustermarket/internal/analysis"
+	"clustermarket/internal/analysis/allocfree"
+	"clustermarket/internal/analysis/lockdiscipline"
+	"clustermarket/internal/analysis/maporder"
+	"clustermarket/internal/analysis/replaypure"
+)
+
+// analyzers is the marketlint suite.
+var analyzers = []*analysis.Analyzer{
+	maporder.Analyzer,
+	replaypure.Analyzer,
+	allocfree.Analyzer,
+	lockdiscipline.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// The three vettool protocol entry points, in the order cmd/go
+	// exercises them: -V=full (tool identity for the build cache),
+	// -flags (supported analyzer flags; marketlint passes none through),
+	// then one invocation per package unit with a .cfg path.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(analysis.VetUnit(args[0], analyzers))
+		}
+	}
+	if len(args) >= 1 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage()
+		return
+	}
+
+	// Standalone mode: delegate loading, caching, and scheduling to the
+	// go tool by re-invoking ourselves as its vettool.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marketlint: %v\n", err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "marketlint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// printVersion implements the -V=full contract: cmd/go hashes the
+// reported identity into its build cache key, so the identity must
+// change whenever the tool's behavior might — hashing our own binary
+// delivers exactly that.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil)[:16])
+}
+
+func usage() {
+	fmt.Println("marketlint [packages]  — run the clustermarket contract analyzers (default ./...)")
+	fmt.Println()
+	for _, a := range analyzers {
+		fmt.Printf("  %-15s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("Annotations (see DESIGN.md \"Static analysis & contracts\"):")
+	fmt.Println("  //marketlint:orderfree <reason>        this map-range loop is order-insensitive")
+	fmt.Println("  //marketlint:allocfree                 pinned zero-allocation hot path (doc comment)")
+	fmt.Println("  //marketlint:allow <analyzer> <reason> suppress one analyzer at this statement")
+}

@@ -1,0 +1,14 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"clustermarket/internal/analysis"
+	"clustermarket/internal/analysis/allocfree"
+	"clustermarket/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir("allocfree"), "clustermarket/internal/core",
+		[]*analysis.Analyzer{allocfree.Analyzer})
+}

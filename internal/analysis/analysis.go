@@ -1,0 +1,145 @@
+// Package analysis is a small, dependency-free static-analysis
+// framework in the spirit of golang.org/x/tools/go/analysis, sized to
+// what marketlint needs. The container this repo builds in has no
+// module proxy, so the framework is implemented on the standard
+// library alone: go/ast + go/types for the analyses, `go list -export`
+// supplied export data for type-checking, and the `go vet -vettool`
+// unit protocol for driving (see vettool.go).
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// diagnostics. Cross-package facts are deliberately out of scope: every
+// contract marketlint enforces (map-iteration order, replay purity,
+// allocation-free hot paths, lock ordering) is phrased so it can be
+// checked package-locally, with annotations carrying intent across
+// package boundaries.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, e.g. "maporder".
+	Name string
+	// Doc is a short description shown by `marketlint -help`.
+	Doc string
+	// Packages, when non-nil, restricts the analyzer to import paths
+	// for which it returns true. The drivers honor it; tests running an
+	// analyzer directly bypass it.
+	Packages func(importPath string) bool
+	// Run performs the analysis, reporting findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+	cmaps map[*ast.File]ast.CommentMap
+}
+
+// A Diagnostic is one reported finding, with a resolved position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos. Findings suppressed by a
+// `//marketlint:allow <analyzer> <reason>` annotation on the enclosing
+// statement or declaration are dropped by the driver, not here — the
+// analyzer itself stays suppression-oblivious.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FileFor returns the *ast.File whose extent contains pos, or nil.
+func (p *Pass) FileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// commentMap returns (building lazily) the comment map for file.
+func (p *Pass) commentMap(file *ast.File) ast.CommentMap {
+	if p.cmaps == nil {
+		p.cmaps = make(map[*ast.File]ast.CommentMap)
+	}
+	cm, ok := p.cmaps[file]
+	if !ok {
+		cm = ast.NewCommentMap(p.Fset, file, file.Comments)
+		p.cmaps[file] = cm
+	}
+	return cm
+}
+
+// RunAnalyzers executes each analyzer over one loaded package and
+// returns the combined findings sorted by position. Findings in
+// _test.go files are dropped (test code may range maps, allocate, and
+// sleep at will), as are findings suppressed by a marketlint:allow
+// annotation. Analyzer package filters are applied against importPath.
+func RunAnalyzers(importPath string, analyzers []*Analyzer, fset *token.FileSet,
+	files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if a.Packages != nil && !a.Packages(importPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range pass.diags {
+			if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+				continue
+			}
+			if pass.suppressed(d) {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		di, dj := all[i], all[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Message < dj.Message
+	})
+	return all, nil
+}

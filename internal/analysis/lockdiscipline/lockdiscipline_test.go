@@ -1,0 +1,17 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"clustermarket/internal/analysis"
+	"clustermarket/internal/analysis/analysistest"
+	"clustermarket/internal/analysis/lockdiscipline"
+)
+
+// The fixture declares types whose names match the market package's
+// lock fields and is checked under that import path, so the real
+// documented hierarchy is what the test exercises.
+func TestLockdiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir("lockdiscipline"), "clustermarket/internal/market",
+		[]*analysis.Analyzer{lockdiscipline.Analyzer})
+}

@@ -1,0 +1,83 @@
+// Package fixture mirrors the market package's lock topology (the
+// type and field names are what bind it to the documented hierarchy)
+// and exercises the ordering and pairing checks.
+package fixture
+
+import "sync"
+
+type Exchange struct {
+	auctionMu sync.Mutex
+	settleMu  sync.Mutex
+	ledgerMu  sync.Mutex
+	histMu    sync.RWMutex
+	orders    orderShard
+	accounts  accountShard
+}
+
+type orderShard struct{ mu sync.RWMutex }
+
+type accountShard struct{ mu sync.RWMutex }
+
+// The documented order, outer to inner, everything paired: clean.
+func (e *Exchange) settle() {
+	e.auctionMu.Lock()
+	defer e.auctionMu.Unlock()
+	e.settleMu.Lock()
+	defer e.settleMu.Unlock()
+	e.orders.mu.Lock()
+	e.accounts.mu.Lock()
+	e.accounts.mu.Unlock()
+	e.orders.mu.Unlock()
+	e.ledgerMu.Lock()
+	e.ledgerMu.Unlock()
+}
+
+// Acquiring the settle lock while holding an order stripe inverts the
+// hierarchy (the PR 4 settlement-deadlock shape).
+func (e *Exchange) inverted() {
+	e.orders.mu.Lock()
+	defer e.orders.mu.Unlock()
+	e.settleMu.Lock() // want "acquires Exchange.settleMu \\(rank 20\\) while holding orderShard.mu \\(rank 30\\)"
+	e.settleMu.Unlock()
+}
+
+// An acquire with no release in the same function.
+func (e *Exchange) leak() {
+	e.histMu.Lock() // want "e.histMu.Lock\\(\\) has no matching Unlock"
+}
+
+// Unlock does not discharge an RLock: the flavors must match.
+func (e *Exchange) mismatched() {
+	e.histMu.RLock() // want "e.histMu.RLock\\(\\) has no matching RUnlock"
+	e.histMu.Unlock()
+}
+
+// A deliberate lock handoff rides on an allow annotation; the matching
+// release lives in finishAudit.
+func (e *Exchange) beginAudit() {
+	//marketlint:allow lockdiscipline the audit walker releases in finishAudit
+	e.ledgerMu.Lock()
+}
+
+func (e *Exchange) finishAudit() {
+	e.ledgerMu.Unlock()
+}
+
+type watcher struct{ mu sync.Mutex }
+
+// Locks outside the hierarchy table get the pairing check only; holding
+// one does not constrain ranked acquisitions.
+func (w *watcher) poke(e *Exchange) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	e.histMu.Lock()
+	e.histMu.Unlock()
+}
+
+// A closure is its own pairing extent.
+func (e *Exchange) async() {
+	go func() {
+		e.histMu.RLock()
+		defer e.histMu.RUnlock()
+	}()
+}

@@ -1,0 +1,176 @@
+// Package fixture reproduces the map-order bug classes maporder exists
+// to catch — including the three PR 5 fixed by hand — alongside the
+// order-free idioms the analyzer must keep accepting.
+package fixture
+
+import "sort"
+
+// PR 5 bug class 1 (federation advanceRegion): failover orders were
+// gathered by ranging the region map and resubmitted unsorted, so the
+// backup exchange booked them in a different order each run.
+func failoverOrders(regions map[string][]int) []int {
+	var resubmit []int
+	for _, orders := range regions { // want "not sorted immediately after the loop"
+		resubmit = append(resubmit, orders...)
+	}
+	return resubmit
+}
+
+// The fix: sort the gathered slice before anything reads it.
+func failoverOrdersSorted(regions map[string][]int) []int {
+	var resubmit []int
+	for _, orders := range regions {
+		resubmit = append(resubmit, orders...)
+	}
+	sort.Ints(resubmit)
+	return resubmit
+}
+
+// PR 5 bug class 2 (sim placeFederatedWin): first-fit placement took
+// whichever cluster the map handed over first.
+func pickCluster(free map[string]int, need int) string {
+	for cl, slots := range free {
+		if slots >= need {
+			return cl // want "early return of iteration-dependent values"
+		}
+	}
+	return ""
+}
+
+// The fix: walk the keys in sorted order.
+func pickClusterSorted(free map[string]int, need int) string {
+	names := make([]string, 0, len(free))
+	for name := range free {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if free[name] >= need {
+			return name
+		}
+	}
+	return ""
+}
+
+// PR 5 bug class 3 (Migration): float addition order changes the bits,
+// which changes scenario fingerprints.
+func migrationCost(costs map[string]float64) float64 {
+	var total float64
+	for _, c := range costs {
+		total += c // want "a float accumulator"
+	}
+	return total
+}
+
+// The fix: accumulate over sorted keys.
+func migrationCostSorted(costs map[string]float64) float64 {
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += costs[k]
+	}
+	return total
+}
+
+// Integer counting depends only on the element count: order-free.
+func countOpen(status map[int]bool) int {
+	n := 0
+	for _, open := range status {
+		if open {
+			n++
+		}
+	}
+	return n
+}
+
+// Keyed writes land each element in its own slot: order-free.
+func clone(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// m[k] = append(m[k], ...) stays within one key's entry: order-free.
+func merge(dst, src map[string][]int) {
+	for k, vs := range src {
+		dst[k] = append(dst[k], vs...)
+	}
+}
+
+// min/max folds commute: order-free.
+func peak(load map[string]float64) float64 {
+	var top float64
+	for _, v := range load {
+		top = max(top, v)
+	}
+	return top
+}
+
+// Deleting under a pure predicate is order-free.
+func prune(m map[string]int, cut int) {
+	for k, v := range m {
+		if v < cut {
+			delete(m, k)
+		}
+	}
+}
+
+// Pure switch dispatch over integer tallies is order-free.
+func tally(states map[string]int) (active, idle int) {
+	for _, s := range states {
+		switch s {
+		case 0:
+			idle++
+		default:
+			active++
+		}
+	}
+	return
+}
+
+// A pure `v, ok := m[k]`-style if initializer is order-free.
+func sumKnown(m map[string]int, known map[string]bool) int {
+	total := 0
+	for k, v := range m {
+		if ok := known[k]; ok {
+			total += v
+		}
+	}
+	return total
+}
+
+// Iteration-local scratch (even appended to) dies with the iteration;
+// only the keyed write escapes.
+func buckets(m map[string]int) map[string][]int {
+	out := make(map[string][]int, len(m))
+	for k, v := range m {
+		pair := make([]int, 0, 2)
+		pair = append(pair, v)
+		out[k] = pair
+	}
+	return out
+}
+
+type counter struct{ n int }
+
+// A write through a loop-local pointer escapes the iteration, so the
+// loop needs an annotation — and carries one, with a reason.
+func resetAll(counters map[string]*counter) {
+	//marketlint:orderfree each counter is reset exactly once; order is immaterial
+	for _, c := range counters {
+		c.n = 0
+	}
+}
+
+// An annotation without a reason is itself a finding.
+func bareAnnotation(counters map[string]int) {
+	//marketlint:orderfree
+	for range counters { // want "needs a reason"
+	}
+}

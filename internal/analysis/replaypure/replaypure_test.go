@@ -1,0 +1,16 @@
+package replaypure_test
+
+import (
+	"testing"
+
+	"clustermarket/internal/analysis"
+	"clustermarket/internal/analysis/analysistest"
+	"clustermarket/internal/analysis/replaypure"
+)
+
+// The fixture is checked under a determinism-critical import path so
+// the analyzer's Packages filter engages exactly as it does in CI.
+func TestReplaypure(t *testing.T) {
+	analysistest.Run(t, analysistest.Dir("replaypure"), "clustermarket/internal/market",
+		[]*analysis.Analyzer{replaypure.Analyzer})
+}

@@ -1,0 +1,65 @@
+// Package fixture models an event-apply layer with every impurity
+// replaypure polices, plus an unreachable helper the analyzer must
+// leave alone.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+type event struct {
+	kind string
+	team string
+}
+
+type exchange struct {
+	balances map[string]float64
+	clock    chan time.Time
+}
+
+var applied int // package-level state the apply layer must not touch
+
+func (e *exchange) applyEvent(ev *event) error {
+	switch ev.kind {
+	case "credit":
+		e.applyCredit(ev)
+	case "stamp":
+		e.stampNow(ev)
+	case "jitter":
+		e.jitter(ev)
+	case "wait":
+		e.waitForTick()
+	}
+	return nil
+}
+
+func (e *exchange) applyCredit(ev *event) {
+	e.balances[ev.team] += 1
+	applied++ // want "writes package-level state \\(applied\\)"
+}
+
+func (e *exchange) stampNow(ev *event) {
+	_ = time.Now()  // want "reads the wall clock \\(time.Now\\)"
+	_ = os.Getpid() // want "touches the environment \\(os.Getpid\\)"
+}
+
+func (e *exchange) jitter(ev *event) {
+	_ = rand.Float64() // want "draws randomness \\(math/rand.Float64\\)"
+	go func() {}()     // want "spawns a goroutine"
+}
+
+func (e *exchange) waitForTick() {
+	<-e.clock // want "receives from a channel"
+	select {  // want "selects over channels"
+	case <-e.clock:
+	default:
+	}
+}
+
+// liveRefresh is NOT reachable from applyEvent: the live path may read
+// the clock freely.
+func (e *exchange) liveRefresh() time.Time {
+	return time.Now()
+}

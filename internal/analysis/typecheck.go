@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+)
+
+// NewTypesInfo returns a types.Info with every map analyzers consult
+// populated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// TypecheckFiles type-checks parsed files as package importPath,
+// resolving imports through lookup, which must yield gc export data
+// (as produced by the toolchain and located via `go list -export` or a
+// vet config's PackageFile map).
+func TypecheckFiles(fset *token.FileSet, files []*ast.File, importPath, goVersion string,
+	lookup func(path string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		// Keep going past the first error so SucceedOnTypecheckFailure
+		// callers see as complete a package as possible.
+		Error: func(error) {},
+	}
+	info := NewTypesInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	return pkg, info, err
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the tool side of the `go vet -vettool=...` unit
+// protocol (the same contract x/tools' unitchecker fulfils):
+//
+//   - cmd/go writes a JSON config describing one compiled package unit
+//     (files, import map, export-data paths) and invokes the tool with
+//     the config path as its sole argument;
+//   - the tool type-checks the unit, runs its analyzers, prints
+//     findings to stderr, and exits 0 (clean) or 2 (findings);
+//   - dependency units arrive with VetxOnly=true — cmd/go only wants
+//     cross-package facts from those. marketlint's analyzers are
+//     package-local by design, so VetxOnly units return immediately,
+//     which keeps `go vet -vettool=marketlint ./...` from re-analyzing
+//     the standard library.
+
+// VetConfig mirrors cmd/go's internal vetConfig struct (the JSON unit
+// description written next to each compiled package).
+type VetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	NonGoFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit analyzes the unit described by cfgFile and returns the
+// process exit code: 0 clean, 1 on driver errors, 2 on findings.
+func VetUnit(cfgFile string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marketlint: %v\n", err)
+		return 1
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "marketlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// cmd/go caches the vetx output per unit; writing it (even empty —
+	// we compute no facts) marks the unit analyzed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("marketlint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "marketlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Test-augmented units ("pkg [pkg.test]") re-analyze the package's
+	// non-test files, which the base unit already covered, and add only
+	// _test.go files, whose findings are dropped by policy. Skip them.
+	if strings.Contains(cfg.ID, " [") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "marketlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, info, err := TypecheckFiles(fset, files, cfg.ImportPath, cfg.GoVersion, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "marketlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(cfg.ImportPath, analyzers, fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marketlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -171,6 +171,8 @@ type runScratch struct {
 // prepare sizes the scratch for a run: p starts at the reserve prices, z
 // zeroed, step left for StepInto's full overwrite, choices ready for the
 // round-0 full evaluation.
+//
+//marketlint:allocfree
 func (a *Auction) prepare() (p, z resource.Vector, choices []int) {
 	r := len(a.cfg.Start)
 	a.sc.p = a.sc.p.CopyFrom(a.cfg.Start)
@@ -264,6 +266,8 @@ func (a *Auction) Run() (*Result, error) { return a.RunReusing(nil) }
 // overwritten in place instead of reallocated, so a steady-state re-run
 // performs zero heap allocations. The returned Result is res itself; the
 // previous outcome it carried is destroyed. Pass nil for a fresh Result.
+//
+//marketlint:allocfree
 func (a *Auction) RunReusing(res *Result) (*Result, error) {
 	res = a.resetResult(res)
 	if a.cfg.Engine == EngineDense {
@@ -274,6 +278,8 @@ func (a *Auction) RunReusing(res *Result) (*Result, error) {
 
 // resetResult prepares res for (re)use: slices are truncated in place
 // with capacity kept, and the drop-round diagnostics reset.
+//
+//marketlint:allocfree
 func (a *Auction) resetResult(res *Result) *Result {
 	if res == nil {
 		res = &Result{}
@@ -296,6 +302,8 @@ func (a *Auction) resetResult(res *Result) *Result {
 
 // appendRound records one history snapshot, reusing the vectors of a
 // recycled Round beyond len(h) when RunReusing supplied one.
+//
+//marketlint:allocfree
 func appendRound(h []Round, t int, p, z resource.Vector, active int) []Round {
 	if len(h) < cap(h) {
 		h = h[:len(h)+1]
@@ -305,6 +313,7 @@ func appendRound(h []Round, t int, p, z resource.Vector, active int) []Round {
 		r.ExcessDemand = r.ExcessDemand.CopyFrom(z)
 		return h
 	}
+	//marketlint:allow allocfree history growth: runs once per new history depth, then the rounds above are recycled
 	return append(h, Round{T: t, Prices: p.Clone(), ExcessDemand: z.Clone(), ActiveBidders: active})
 }
 
@@ -312,6 +321,8 @@ func appendRound(h []Round, t int, p, z resource.Vector, active int) []Round {
 // the new prices each round and the excess-demand vector is rebuilt from
 // scratch. It is quadratic in practice and kept as the reference the
 // incremental engine is differentially tested against.
+//
+//marketlint:allocfree
 func (a *Auction) runDense(res *Result) (*Result, error) {
 	// choices[i] is the bundle index demanded by proxy i this round, or
 	// −1 when priced out. Working with indices keeps the round loop on
@@ -345,11 +356,13 @@ func (a *Auction) runDense(res *Result) (*Result, error) {
 		}
 		a.cfg.Policy.StepInto(step, z, p)
 		if !step.AllNonNegative(0) {
+			//marketlint:allow allocfree error path; the run is abandoned
 			return nil, fmt.Errorf("core: policy %s produced a negative step", a.cfg.Policy.Name())
 		}
 		if step.MaxAbs() == 0 {
 			// The policy refused to move despite excess demand; without
 			// progress the loop would spin forever.
+			//marketlint:allow allocfree error path; the run is abandoned
 			return nil, fmt.Errorf("core: policy %s stalled with positive excess demand at round %d", a.cfg.Policy.Name(), t)
 		}
 		p.AddInto(step)
@@ -369,6 +382,8 @@ const parallelThreshold = 64
 // number of active bidders. With cfg.Parallel it fans the loop out over
 // GOMAXPROCS workers; the choices slice is indexed by bidder so the
 // result is deterministic either way.
+//
+//marketlint:allocfree
 func (a *Auction) collect(p resource.Vector, choices []int) int {
 	if !a.cfg.Parallel || len(a.proxies) < parallelThreshold {
 		active := 0
@@ -380,7 +395,14 @@ func (a *Auction) collect(p resource.Vector, choices []int) int {
 		}
 		return active
 	}
+	//marketlint:allow allocfree opt-in parallel fan-out; spawn cost is amortized over ≥64 evaluations
+	return a.collectParallel(p, choices)
+}
 
+// collectParallel is collect's goroutine fan-out over GOMAXPROCS
+// workers; choices slots are disjoint per worker, so the result matches
+// the serial loop.
+func (a *Auction) collectParallel(p resource.Vector, choices []int) int {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(a.proxies) {
 		workers = len(a.proxies)
@@ -423,6 +445,8 @@ func (a *Auction) collect(p resource.Vector, choices []int) int {
 // slices (and per-winner allocation vectors) are reused in place when
 // RunReusing recycled them, so the settled outcome never aliases the
 // auction's scratch buffers.
+//
+//marketlint:allocfree
 func (a *Auction) settle(res *Result, p resource.Vector, choices []int) {
 	n := len(a.bids)
 	res.Prices = res.Prices.CopyFrom(p)

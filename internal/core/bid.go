@@ -46,6 +46,8 @@ type Bid struct {
 // statistics (Equation 5) must be computed against the winning bundle's
 // limit via this method — using the scalar Limit for a vector-limit bid
 // measures γ_u against a number the proxy never consulted.
+//
+//marketlint:allocfree
 func (b *Bid) LimitFor(i int) float64 {
 	if len(b.BundleLimits) > 0 {
 		return b.BundleLimits[i]
@@ -204,6 +206,8 @@ func NewProxy(b *Bid) *Proxy {
 
 // choose returns the index of the bundle the proxy demands at prices p,
 // or −1 when priced out — the sparse fast path of Bid.BestAffordable.
+//
+//marketlint:allocfree
 func (px *Proxy) choose(p resource.Vector) int {
 	best := -1
 	bestSurplus := math.Inf(-1)

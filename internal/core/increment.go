@@ -24,6 +24,7 @@ type IncrementPolicy interface {
 	// component must be written (zero where z ≤ 0): dst is scratch and may
 	// hold a previous round's step on entry. Only pools with z > 0 may
 	// move.
+	//marketlint:allocfree
 	StepInto(dst, z, p resource.Vector)
 }
 

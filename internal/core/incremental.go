@@ -96,12 +96,16 @@ type incrementalState struct {
 // below the current epoch already reads as "unseen"), so a reset only
 // clears the retirement flags and truncates the gather buffers — no
 // allocation in the steady state.
+//
+//marketlint:allocfree
 func (a *Auction) newIncrementalState() *incrementalState {
 	if a.incIndex == nil {
+		//marketlint:allow allocfree one-time index build, cached on the Auction across runs
 		a.incIndex = a.buildIncrementalIndex()
 	}
 	st := a.incState
 	if st == nil {
+		//marketlint:allow allocfree one-time state construction, cached on the Auction across runs
 		st = &incrementalState{
 			incrementalIndex: a.incIndex,
 			retired:          make([]bool, len(a.proxies)),
@@ -133,6 +137,8 @@ func (a *Auction) newIncrementalState() *incrementalState {
 
 // markStalePool records pool r for excess-demand recomputation, at most
 // once per round.
+//
+//marketlint:allocfree
 func (st *incrementalState) markStalePool(r int32) {
 	if st.poolMark[r] != st.epoch {
 		st.poolMark[r] = st.epoch
@@ -144,6 +150,8 @@ func (st *incrementalState) markStalePool(r int32) {
 // The control flow mirrors runDense exactly — same round structure, same
 // stopping test, same error paths — so the two engines settle the same
 // choices at the same prices, bit for bit.
+//
+//marketlint:allocfree
 func (a *Auction) runIncremental(res *Result) (*Result, error) {
 	p, z, choices := a.prepare()
 	step := a.sc.step
@@ -179,11 +187,13 @@ func (a *Auction) runIncremental(res *Result) (*Result, error) {
 		}
 		a.cfg.Policy.StepInto(step, z, p)
 		if !step.AllNonNegative(0) {
+			//marketlint:allow allocfree error path; the run is abandoned
 			return nil, fmt.Errorf("core: policy %s produced a negative step", a.cfg.Policy.Name())
 		}
 		if step.MaxAbs() == 0 {
 			// The policy refused to move despite excess demand; without
 			// progress the loop would spin forever.
+			//marketlint:allow allocfree error path; the run is abandoned
 			return nil, fmt.Errorf("core: policy %s stalled with positive excess demand at round %d", a.cfg.Policy.Name(), t)
 		}
 		p.AddInto(step)
@@ -192,6 +202,7 @@ func (a *Auction) runIncremental(res *Result) (*Result, error) {
 		st.dirty = st.dirty[:0]
 		for r, s := range step {
 			if s > 0 {
+				//marketlint:allow allocfree dirty-pool scratch is cached on the Auction; growth is amortized across runs
 				st.dirty = append(st.dirty, int32(r))
 			}
 		}
@@ -207,6 +218,8 @@ func (a *Auction) runIncremental(res *Result) (*Result, error) {
 // gather the proxies touching a dirty pool, re-evaluate them, and
 // recompute the excess-demand components their changed choices touch. It
 // returns the updated active-bidder count.
+//
+//marketlint:allocfree
 func (a *Auction) advance(st *incrementalState, p resource.Vector, choices []int, res *Result, z resource.Vector, t, active int) int {
 	st.epoch++
 	st.affected = st.affected[:0]
@@ -294,6 +307,8 @@ func (a *Auction) advance(st *incrementalState, p resource.Vector, choices []int
 // parallel fan-out applies when the subset is large enough, and results
 // are written to disjoint slots, so serial and parallel runs are
 // identical.
+//
+//marketlint:allocfree
 func (a *Auction) collectSubset(p resource.Vector, affected []int32, out []int) []int {
 	if cap(out) < len(affected) {
 		out = make([]int, len(affected))
@@ -309,6 +324,7 @@ func (a *Auction) collectSubset(p resource.Vector, affected []int32, out []int) 
 	// cannot capture this function's reassigned `out` variable — that
 	// capture would heap-box the slice header on every call, putting an
 	// allocation on the serial path's steady-state rounds too.
+	//marketlint:allow allocfree opt-in parallel fan-out; spawn cost is amortized over ≥64 evaluations
 	a.collectSubsetParallel(p, affected, out)
 	return out
 }

@@ -24,6 +24,8 @@ func newSparseBundle(q resource.Vector) sparseBundle {
 }
 
 // dot computes qᵀp touching only non-zero components.
+//
+//marketlint:allocfree
 func (s sparseBundle) dot(p resource.Vector) float64 {
 	var sum float64
 	for k, i := range s.idx {
@@ -33,6 +35,8 @@ func (s sparseBundle) dot(p resource.Vector) float64 {
 }
 
 // addInto accumulates the bundle into dense vector z.
+//
+//marketlint:allocfree
 func (s sparseBundle) addInto(z resource.Vector) {
 	for k, i := range s.idx {
 		z[i] += s.val[k]
@@ -46,6 +50,8 @@ func (s sparseBundle) addInto(z resource.Vector) {
 // add a 0.0 (which is not always a bit-level no-op in IEEE arithmetic).
 // Bundles hold a handful of non-zero components, so the linear scan is
 // cheaper than any index structure.
+//
+//marketlint:allocfree
 func (s sparseBundle) valueAt(r int32) (float64, bool) {
 	for k, i := range s.idx {
 		if i == r {

@@ -97,6 +97,8 @@ func (e *Exchange) applyOrderSubmitted(ev *Event) error {
 // buy-side budget exposure. Both the order-stripe and account-stripe
 // locks must be held (in that order — account stripes are always the
 // inner lock).
+//
+//marketlint:allocfree
 func (e *Exchange) bookOrderLocked(os *orderShard, as *accountShard, o *Order) {
 	if exp := o.Bid.MaxLimit(); exp > 0 {
 		as.openBuy[o.Team] += exp

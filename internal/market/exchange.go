@@ -461,6 +461,8 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 
 // releaseCommitment removes an order leaving the Open state from its
 // team's running buy commitment.
+//
+//marketlint:allocfree
 func (e *Exchange) releaseCommitment(o *Order) {
 	if exp := o.Bid.MaxLimit(); exp > 0 {
 		as := e.accountShardFor(o.Team)
@@ -1131,6 +1133,7 @@ func (e *Exchange) Teams() []string {
 	for s := range e.accountShards {
 		as := &e.accountShards[s]
 		as.mu.RLock()
+		//marketlint:orderfree out is sorted once the shard sweep completes
 		for t := range as.balances {
 			if t != OperatorAccount {
 				out = append(out, t)

@@ -1,6 +1,7 @@
 package market
 
 import (
+	"sort"
 	"sync/atomic"
 
 	"clustermarket/internal/journal"
@@ -84,9 +85,14 @@ func (e *Exchange) CommitmentsPerStripe() []float64 {
 	for s := range e.accountShards {
 		as := &e.accountShards[s]
 		as.mu.RLock()
+		teams := make([]string, 0, len(as.openBuy))
+		for team := range as.openBuy {
+			teams = append(teams, team)
+		}
+		sort.Strings(teams)
 		var sum float64
-		for _, exp := range as.openBuy {
-			sum += exp
+		for _, team := range teams {
+			sum += as.openBuy[team]
 		}
 		out[s] = sum
 		as.mu.RUnlock()

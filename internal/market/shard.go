@@ -42,6 +42,8 @@ type accountShard struct {
 
 // orderShardFor returns the stripe holding order id, or nil for a
 // negative id.
+//
+//marketlint:allocfree
 func (e *Exchange) orderShardFor(id int) *orderShard {
 	if id < 0 {
 		return nil
@@ -51,6 +53,8 @@ func (e *Exchange) orderShardFor(id int) *orderShard {
 
 // accountShardFor returns the stripe holding the team's account (FNV-1a
 // over the name).
+//
+//marketlint:allocfree
 func (e *Exchange) accountShardFor(team string) *accountShard {
 	h := uint32(2166136261)
 	for i := 0; i < len(team); i++ {

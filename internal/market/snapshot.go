@@ -141,6 +141,7 @@ func (e *Exchange) buildStateLocked() (*exchangeState, error) {
 		for team, bal := range as.balances {
 			st.Balances[team] = bal
 		}
+		//marketlint:orderfree writes are team-keyed and the nil-check lazy init is idempotent
 		for team, exp := range as.openBuy {
 			if exp != 0 {
 				if st.OpenBuy == nil {
@@ -208,9 +209,11 @@ func (e *Exchange) restoreState(raw []byte) error {
 	}
 	// Balances and commitments are restored verbatim (not re-derived from
 	// the booked orders), so the image's money state is authoritative.
+	//marketlint:orderfree each write lands in its own team-keyed stripe slot (accountShardFor is a pure hash)
 	for team, bal := range st.Balances {
 		e.accountShardFor(team).balances[team] = bal
 	}
+	//marketlint:orderfree each write lands in its own team-keyed stripe slot (accountShardFor is a pure hash)
 	for team, exp := range st.OpenBuy {
 		e.accountShardFor(team).openBuy[team] = exp
 	}

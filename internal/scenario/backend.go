@@ -112,7 +112,7 @@ type Backend interface {
 }
 
 // regionName and clusterName fix the shared topology naming.
-func regionName(k int) string            { return fmt.Sprintf("r%d", k+1) }
+func regionName(k int) string                 { return fmt.Sprintf("r%d", k+1) }
 func clusterName(region string, j int) string { return fmt.Sprintf("%s-c%d", region, j+1) }
 
 // buildFleet assembles one region's clusters, utilization-skewed by the
@@ -294,11 +294,11 @@ func (b *exchangeBackend) Close() error {
 	return b.journal.Close()
 }
 
-func (b *exchangeBackend) Kind() string                    { return "exchange" }
-func (b *exchangeBackend) Regions() []string               { return b.regions }
-func (b *exchangeBackend) ClustersOf(region string) []string { return b.clusters[region] }
+func (b *exchangeBackend) Kind() string                          { return "exchange" }
+func (b *exchangeBackend) Regions() []string                     { return b.regions }
+func (b *exchangeBackend) ClustersOf(region string) []string     { return b.clusters[region] }
 func (b *exchangeBackend) RegistryFor(string) *resource.Registry { return b.ex.Registry() }
-func (b *exchangeBackend) OpenAccount(team string) error   { return b.ex.OpenAccount(team) }
+func (b *exchangeBackend) OpenAccount(team string) error         { return b.ex.OpenAccount(team) }
 
 func (b *exchangeBackend) SubmitProduct(team, product string, qty float64, clusters []string, limit float64) (int, error) {
 	o, err := b.ex.SubmitProduct(team, product, qty, clusters, limit)
@@ -417,6 +417,7 @@ func NewFederationBackend(cfg Config) (Backend, error) {
 	}
 	journals := make(map[string]*journal.Journal)
 	closeAll := func() {
+		//marketlint:orderfree each journal is closed exactly once; close order is immaterial
 		for _, j := range journals {
 			j.Close()
 		}
@@ -476,6 +477,7 @@ func (b *federationBackend) CrashRecover() error {
 	if len(b.journals) == 0 {
 		return errors.New("scenario: federation backend has no journals to recover from")
 	}
+	//marketlint:orderfree each journal is crashed exactly once; crash order is immaterial
 	for _, j := range b.journals {
 		j.Crash()
 	}
@@ -483,6 +485,7 @@ func (b *federationBackend) CrashRecover() error {
 	cfg.applyDefaults()
 	journals := make(map[string]*journal.Journal)
 	closeAll := func() {
+		//marketlint:orderfree each journal is closed exactly once; close order is immaterial
 		for _, j := range journals {
 			j.Close()
 		}
@@ -546,6 +549,7 @@ func (b *federationBackend) CrashRecover() error {
 
 func (b *federationBackend) Close() error {
 	var first error
+	//marketlint:orderfree map order only picks which close error is surfaced; callers check err != nil
 	for _, j := range b.journals {
 		if err := j.Close(); err != nil && first == nil {
 			first = err

@@ -178,7 +178,8 @@ func Fig7(cfg Config, auctions int) (*Fig7Data, error) {
 			pop[p.Dim] = append(pop[p.Dim], out.PreUtilization[i])
 		}
 		for _, tr := range out.Trades {
-			for pi, q := range tr.PoolQty {
+			for _, pi := range sortedPoolQtyIndices(tr.PoolQty) {
+				q := tr.PoolQty[pi]
 				p := w.Reg.Pool(pi)
 				if p.Dim == resource.Network {
 					continue

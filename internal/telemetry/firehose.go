@@ -76,6 +76,8 @@ func (f *Firehose) Active() bool {
 // A subscriber whose buffer is full loses its oldest buffered event
 // (counted on that subscriber's Dropped) in favor of this one.
 // Publish is safe for concurrent use and nil-safe.
+//
+//marketlint:allocfree
 func (f *Firehose) Publish(source, kind string, payload any) {
 	if f == nil || f.active.Load() == 0 {
 		return
@@ -174,6 +176,8 @@ type Subscription struct {
 // serializes concurrent publishers' drop loops; every operation under
 // it is non-blocking, so publishers contend only with each other for
 // nanoseconds, never with the subscriber.
+//
+//marketlint:allocfree
 func (s *Subscription) send(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

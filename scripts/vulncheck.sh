@@ -1,0 +1,55 @@
+#!/bin/sh
+# Run govulncheck and fail on findings not listed in .govulncheck-ignore.
+#
+# govulncheck has no built-in baseline mechanism, so this wrapper keeps
+# one: .govulncheck-ignore holds accepted GO- and GHSA- IDs (one per
+# line, '#' comments), and only vulnerabilities absent from that list
+# fail the build. A clean run prunes nothing — stale ignore entries are
+# reported so the list shrinks as toolchains move.
+set -u
+
+if ! command -v govulncheck >/dev/null 2>&1; then
+    echo "vulncheck: govulncheck not installed; skipping (the CI lint job runs it)"
+    exit 0
+fi
+
+IGNORE_FILE="$(dirname "$0")/../.govulncheck-ignore"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+# Text mode exits 3 when vulnerabilities are called; other nonzero
+# codes are tool failures and propagate as-is.
+govulncheck ./... >"$OUT" 2>&1
+status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 3 ]; then
+    cat "$OUT"
+    echo "vulncheck: govulncheck failed (exit $status)"
+    exit "$status"
+fi
+
+found=$(grep -oE 'GO-[0-9]{4}-[0-9]+|GHSA-[a-z0-9-]{14,}' "$OUT" | sort -u)
+if [ -z "$found" ]; then
+    echo "vulncheck: no known vulnerabilities reach this module"
+    exit 0
+fi
+
+# The ignore list allows trailing '# reason' comments on each line.
+ignored=$(sed 's/#.*//' "$IGNORE_FILE" 2>/dev/null | tr -d ' \t' | grep -v '^$' || true)
+
+new=""
+for id in $found; do
+    if ! printf '%s\n' "$ignored" | grep -qx "$id"; then
+        new="$new $id"
+    fi
+done
+
+if [ -n "$new" ]; then
+    cat "$OUT"
+    echo "vulncheck: new vulnerabilities:$new"
+    echo "vulncheck: fix them, or add the IDs to .govulncheck-ignore with a dated reason"
+    exit 1
+fi
+
+echo "vulncheck: findings all baselined in .govulncheck-ignore:"
+echo "$found" | sed 's/^/  /'
+exit 0
