@@ -6,7 +6,7 @@ GO ?= go
 
 .PHONY: all build test race vet lint vulncheck help \
 	bench bench-baseline bench-compare \
-	soak soak-race soak-crash soak-telemetry cover cover-update fuzz bench-ci
+	soak soak-race soak-crash soak-telemetry soak-chaos cover cover-update fuzz bench-ci
 
 all: lint build test ## Lint, build, and test: the local pre-push gate
 
@@ -53,7 +53,7 @@ bench:
 # (BenchmarkParallelSubmit across worker counts) appended to the same
 # file. Parametrized so re-running for a new PR cannot silently clobber
 # an earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr9.json
 bench-baseline:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)
 	$(GO) test -run 'xxx' -bench 'ParallelSubmit|ConcurrentSubmit' -benchtime 2000x -cpu 1,4,8 . | tee -a $(BENCH_OUT)
@@ -61,8 +61,8 @@ bench-baseline:
 # Compare two recorded baselines (default: the previous PR's against
 # this PR's). Informational by default — single-iteration CI timings are
 # noise — pass BENCH_FAIL_OVER=N to fail on a >N% ns/op regression.
-BENCH_OLD ?= BENCH_pr6.json
-BENCH_NEW ?= BENCH_pr7.json
+BENCH_OLD ?= BENCH_pr7.json
+BENCH_NEW ?= BENCH_pr9.json
 BENCH_FAIL_OVER ?= 0
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)
@@ -72,7 +72,7 @@ bench-compare:
 # tolerant threshold. Single-iteration timings swing wildly, so only a
 # blowup (accidental quadratic, lost fast path) trips the gate — real
 # perf work still uses bench-baseline on quiet hardware.
-BENCH_GATE_BASE ?= BENCH_pr6.json
+BENCH_GATE_BASE ?= BENCH_pr7.json
 BENCH_GATE_OVER ?= 400
 bench-ci:
 	$(MAKE) bench-baseline BENCH_OUT=BENCH_ci.json
@@ -95,6 +95,17 @@ soak-race:
 SOAK_CRASH_FLAGS ?= -scenario crash-recovery -backend both -seed 42 -crash-epoch 4
 soak-crash:
 	$(GO) run -race ./cmd/marketsim $(SOAK_CRASH_FLAGS) -journal-dir "$$(mktemp -d)"
+
+# Chaos soak: every catalog scenario on both backends, journaled, each
+# with two extra legs under a seeded-random fault schedule (disk faults,
+# region partitions, gossip loss) — exit code 2 if any invariant breaks
+# under fire, exit code 3 if the two same-seed chaos legs are not
+# bit-identical. The scripted disk-fault and partition-storm scenarios
+# additionally verify faults-heal fingerprint identity against the
+# fault-free baseline on every soak run.
+SOAK_CHAOS_FLAGS ?= -scenario all -backend both -seed 42 -chaos -chaos-seed 7
+soak-chaos:
+	$(GO) run -race ./cmd/marketsim $(SOAK_CHAOS_FLAGS) -epochs 6 -journal-dir "$$(mktemp -d)"
 
 # Telemetry soak: every catalog scenario on both backends with a
 # firehose subscriber attached, requiring each run's report to be

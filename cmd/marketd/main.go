@@ -82,9 +82,11 @@ func main() {
 		"durable journal directory: state changes hit the WAL before taking effect, and a restart recovers the books (world flags must match the previous run)")
 	fsyncEvery := flag.Int("fsync-every", 1,
 		"journal group-commit window: fsync the WAL after every N appended records")
+	lockWait := flag.Duration("lock-wait", 0,
+		"how long to retry opening a journal directory locked by another live process (0 fails immediately); covers the restart race where the previous marketd is still draining")
 	flag.Parse()
 
-	if err := validateFlags(*clusters, *machines, *regions, *shards, *budget, *epoch); err != nil {
+	if err := validateFlags(*clusters, *machines, *regions, *shards, *budget, *epoch, *lockWait); err != nil {
 		fmt.Fprintf(os.Stderr, "marketd: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -110,7 +112,7 @@ func main() {
 	// HTTP server has drained — the durability half of graceful shutdown.
 	closeJournal := func() error { return nil }
 	if *regions > 0 {
-		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, fire)
+		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -134,7 +136,7 @@ func main() {
 		handler = s
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, fire)
+		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -258,7 +260,7 @@ func healthLoop(ctx context.Context, health *telemetry.Health, every time.Durati
 
 // validateFlags rejects demo-world parameters that would panic or build
 // a silently broken market.
-func validateFlags(clusters, machines, regions, shards int, budget float64, epoch time.Duration) error {
+func validateFlags(clusters, machines, regions, shards int, budget float64, epoch, lockWait time.Duration) error {
 	if clusters < 1 {
 		return fmt.Errorf("-clusters must be at least 1, got %d", clusters)
 	}
@@ -280,7 +282,59 @@ func validateFlags(clusters, machines, regions, shards int, budget float64, epoc
 	if shards < 0 {
 		return fmt.Errorf("-shards must not be negative, got %d", shards)
 	}
+	if lockWait < 0 {
+		return fmt.Errorf("-lock-wait must not be negative, got %s", lockWait)
+	}
 	return nil
+}
+
+// Lock-retry backoff for -lock-wait: starts small so a normal restart
+// race (the old process draining for under a second) resolves quickly,
+// doubles to a cap so a long wait doesn't spin.
+const (
+	lockRetryBase = 50 * time.Millisecond
+	lockRetryCap  = time.Second
+)
+
+// openJournal opens dir's journal, retrying for up to wait while
+// another live process holds the directory flock — the
+// restart-under-supervisor race where the previous marketd is still
+// draining its journal. Any other error, or wait 0, fails immediately.
+// On success it surfaces torn-tail truncation details in the log.
+func openJournal(dir string, opts journal.Options, wait time.Duration) (*journal.Journal, *journal.Recovery, error) {
+	deadline := time.Now().Add(wait)
+	backoff := lockRetryBase
+	for {
+		j, rec, err := journal.Open(dir, opts)
+		if err == nil {
+			logRecoveryTruncation(dir, rec)
+			return j, rec, nil
+		}
+		if !errors.Is(err, journal.ErrLocked) || wait <= 0 || time.Now().After(deadline) {
+			return nil, nil, err
+		}
+		log.Printf("marketd: journal %s held by another process; retrying in %s", dir, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > lockRetryCap {
+			backoff = lockRetryCap
+		}
+	}
+}
+
+// logRecoveryTruncation reports what a torn-tail truncation lost —
+// the frame index and (best-effort) event kind of the first discarded
+// record — so an operator learns *what* the crash cost, not just that
+// bytes were cut.
+func logRecoveryTruncation(dir string, rec *journal.Recovery) {
+	if rec == nil || !rec.Truncated {
+		return
+	}
+	kind := rec.TruncKind
+	if kind == "" {
+		kind = "undecodable"
+	}
+	log.Printf("marketd: journal %s: torn tail truncated (%s): discarded frame %d, %s event",
+		dir, rec.TruncReason, rec.TruncFrame, kind)
 }
 
 // parseEngine maps the -engine flag onto the core engine selector.
@@ -351,7 +405,7 @@ func noClose() error { return nil }
 // is rebuilt deterministically from the seed, not journaled). Recovery
 // runs the shared invariant kernel before serving. The returned closer
 // flushes and unlocks the journal on shutdown.
-func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, fire *telemetry.Firehose) (*market.Exchange, func() error, error) {
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*market.Exchange, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
@@ -367,7 +421,9 @@ func buildDemo(clusters, machines int, seed int64, budget float64, engine core.E
 	}
 	// A directory locked by a live marketd refuses to open — startup
 	// fails rather than interleaving two processes' writes in one WAL.
-	j, rec, err := journal.Open(journalDir, journal.Options{FsyncEvery: fsyncEvery})
+	// -lock-wait bounds a retry loop over exactly that refusal, for the
+	// restart race where the old process is still draining.
+	j, rec, err := openJournal(journalDir, journal.Options{FsyncEvery: fsyncEvery}, lockWait)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -423,7 +479,7 @@ const fedSnapshotEvery = 64
 // journalDir/fed; a directory holding a previous run recovers every
 // member to the same cut — all-or-nothing, since a half-recovered
 // federation would desynchronize routing state from the regional books.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, fire *telemetry.Firehose) (*federation.Federation, func() error, error) {
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*federation.Federation, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
 	var journals []*journal.Journal
@@ -448,7 +504,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 		var rec *journal.Recovery
 		if journalDir != "" {
 			var j *journal.Journal
-			j, rec, err = journal.Open(filepath.Join(journalDir, name), journal.Options{FsyncEvery: fsyncEvery})
+			j, rec, err = openJournal(filepath.Join(journalDir, name), journal.Options{FsyncEvery: fsyncEvery}, lockWait)
 			if err != nil {
 				closeAll()
 				return nil, nil, err
@@ -476,7 +532,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 	}
 	fed.AttachTelemetry(fire)
 	if journalDir != "" {
-		fj, frec, err := journal.Open(filepath.Join(journalDir, "fed"), journal.Options{FsyncEvery: fsyncEvery})
+		fj, frec, err := openJournal(filepath.Join(journalDir, "fed"), journal.Options{FsyncEvery: fsyncEvery}, lockWait)
 		if err != nil {
 			closeAll()
 			return nil, nil, err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -10,12 +11,13 @@ import (
 	"time"
 
 	"clustermarket/internal/core"
+	"clustermarket/internal/journal"
 	"clustermarket/internal/telemetry"
 	"clustermarket/internal/webui"
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1, nil)
+	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,16 +66,16 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1, nil); err == nil {
+	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1, 0, nil); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
 
 func TestValidateFlags(t *testing.T) {
-	if err := validateFlags(8, 20, 0, 0, 10000, 30*time.Second); err != nil {
+	if err := validateFlags(8, 20, 0, 0, 10000, 30*time.Second, 0); err != nil {
 		t.Errorf("default flags rejected: %v", err)
 	}
-	if err := validateFlags(4, 10, 3, 4, 5000, 0); err != nil {
+	if err := validateFlags(4, 10, 3, 4, 5000, 0, 2*time.Second); err != nil {
 		t.Errorf("federated flags rejected: %v", err)
 	}
 	bad := []struct {
@@ -81,26 +83,28 @@ func TestValidateFlags(t *testing.T) {
 		clusters, machines, regions, shards int
 		budget                              float64
 		epoch                               time.Duration
+		lockWait                            time.Duration
 	}{
-		{"zero clusters", 0, 20, 0, 0, 10000, time.Second},
-		{"negative clusters", -3, 20, 0, 0, 10000, time.Second},
-		{"zero machines", 8, 0, 0, 0, 10000, time.Second},
-		{"zero budget", 8, 20, 0, 0, 0, time.Second},
-		{"negative budget", 8, 20, 0, 0, -5, time.Second},
-		{"negative epoch", 8, 20, 0, 0, 10000, -time.Second},
-		{"negative regions", 8, 20, -1, 0, 10000, time.Second},
-		{"one region", 8, 20, 1, 0, 10000, time.Second},
-		{"negative shards", 8, 20, 0, -2, 10000, time.Second},
+		{"zero clusters", 0, 20, 0, 0, 10000, time.Second, 0},
+		{"negative clusters", -3, 20, 0, 0, 10000, time.Second, 0},
+		{"zero machines", 8, 0, 0, 0, 10000, time.Second, 0},
+		{"zero budget", 8, 20, 0, 0, 0, time.Second, 0},
+		{"negative budget", 8, 20, 0, 0, -5, time.Second, 0},
+		{"negative epoch", 8, 20, 0, 0, 10000, -time.Second, 0},
+		{"negative regions", 8, 20, -1, 0, 10000, time.Second, 0},
+		{"one region", 8, 20, 1, 0, 10000, time.Second, 0},
+		{"negative shards", 8, 20, 0, -2, 10000, time.Second, 0},
+		{"negative lock-wait", 8, 20, 0, 0, 10000, time.Second, -time.Second},
 	}
 	for _, tc := range bad {
-		if err := validateFlags(tc.clusters, tc.machines, tc.regions, tc.shards, tc.budget, tc.epoch); err == nil {
+		if err := validateFlags(tc.clusters, tc.machines, tc.regions, tc.shards, tc.budget, tc.epoch, tc.lockWait); err == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1, nil)
+	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +150,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1, nil)
+	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +207,7 @@ func TestParseEngine(t *testing.T) {
 // directory — the flock a live marketd holds.
 func TestJournaledDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
+	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +227,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 	}
 
 	// While the first process holds the directory, a second must refuse.
-	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil); err == nil {
+	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil); err == nil {
 		t.Fatal("second marketd opened a locked journal dir")
 	}
 
@@ -231,7 +235,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
+	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -255,7 +259,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 // demo: every region and the router recover to the same cut.
 func TestJournaledFederatedDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
+	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +273,7 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, nil)
+	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -288,7 +292,7 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 // /api/events — the same wiring main() performs.
 func TestDemoOpsEndpoints(t *testing.T) {
 	fire := telemetry.NewFirehose()
-	ex, _, err := buildDemo(2, 4, 7, 5000, core.EngineIncremental, 0, "", 1, fire)
+	ex, _, err := buildDemo(2, 4, 7, 5000, core.EngineIncremental, 0, "", 1, 0, fire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,5 +342,37 @@ func TestDemoOpsEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(string(body[:n]), `"healthy":true`) {
 		t.Errorf("/healthz not healthy: %s", body[:n])
+	}
+}
+
+// TestLockWaitRetries pins the -lock-wait restart race: opening a
+// journal directory held by a live process fails fast with no wait
+// budget, but a bounded retry loop picks the directory up as soon as
+// the holder releases it.
+func TestLockWaitRetries(t *testing.T) {
+	dir := t.TempDir()
+	_, closer, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without a wait budget the held lock is a hard startup failure.
+	if _, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 0, nil); !errors.Is(err, journal.ErrLocked) {
+		t.Fatalf("locked open without wait = %v, want ErrLocked", err)
+	}
+
+	// Release the lock mid-wait; the retry loop must pick it up and
+	// recover the previous run's books.
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		closer()
+	}()
+	ex2, closer2, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 5*time.Second, nil)
+	if err != nil {
+		t.Fatalf("open with lock-wait: %v", err)
+	}
+	defer closer2()
+	if got := len(ex2.Teams()); got != len(demoTeams) {
+		t.Errorf("recovered %d teams, want %d", got, len(demoTeams))
 	}
 }

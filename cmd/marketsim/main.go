@@ -17,6 +17,14 @@
 // telemetry pipeline is lossless and complete (the telemetry soak). A
 // stream divergence also exits 3.
 //
+// With -chaos (requires -journal-dir), each scenario/backend pair is
+// additionally run twice under the same seeded-random fault schedule
+// (-chaos-seed): disk faults under the journal, region partitions and
+// gossip stalls in the federation, and a deliberately stalled telemetry
+// subscriber. The two chaos runs must fingerprint-match each other —
+// randomized fault injection must not break determinism — and every
+// invariant must hold throughout (the chaos soak).
+//
 // Exit codes:
 //
 //	0 — every run completed with every invariant intact
@@ -33,6 +41,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"clustermarket/internal/fault"
 	"clustermarket/internal/scenario"
 	"clustermarket/internal/telemetry"
 )
@@ -65,11 +74,18 @@ func run(args []string, stdout, stderr *os.File) int {
 		"kill-and-resurrect the journaled run before this epoch's settlement wave (requires -journal-dir)")
 	telem := fs.Bool("telemetry", false,
 		"attach a firehose subscriber to every run and require the report to be reconstructible from the event stream alone")
+	chaos := fs.Bool("chaos", false,
+		"run each scenario/backend pair twice under a seeded-random fault schedule and require the two runs to fingerprint-match (requires -journal-dir)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the -chaos fault schedule")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
 	}
 	if *crashEpoch > 0 && *journalDir == "" {
 		fmt.Fprintln(stderr, "marketsim: -crash-epoch requires -journal-dir")
+		return exitUsage
+	}
+	if *chaos && *journalDir == "" {
+		fmt.Fprintln(stderr, "marketsim: -chaos requires -journal-dir (disk faults inject under the journal)")
 		return exitUsage
 	}
 
@@ -116,12 +132,17 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 			// The durable rerun: same scenario, same seed, journaled — and
 			// optionally power-cycled mid-run. Its fingerprint must match
-			// the in-memory baseline bit for bit.
+			// the in-memory baseline bit for bit. The rerun arms an
+			// injector, so a scenario with a scripted fault schedule
+			// (disk-fault, partition-storm) actually injects it here —
+			// against the fault-free baseline, fingerprint equality IS the
+			// faults-heal contract.
 			jcfg := cfg
 			jcfg.JournalDir = filepath.Join(*journalDir, sc.Name+"-"+kind)
 			jcfg.FsyncEvery = *fsyncEvery
 			jcfg.SnapshotEvery = *snapshotEvery
 			jcfg.CrashEpoch = *crashEpoch
+			jcfg.Injector = fault.New()
 			jrep, jrec, err := runOne(sc, kind, jcfg, *telem)
 			if err != nil {
 				fmt.Fprintf(stderr, "marketsim: %s/%s (journaled): %v\n", sc.Name, kind, err)
@@ -143,6 +164,16 @@ func run(args []string, stdout, stderr *os.File) int {
 			} else {
 				fmt.Fprintf(stdout, "%-18s %-10s %s run matches baseline fingerprint %s\n",
 					sc.Name, kind, label, rep.Fingerprint()[:16])
+			}
+
+			if *chaos {
+				v, d, err := runChaosPair(stdout, stderr, sc, kind, cfg, *journalDir, *fsyncEvery, *snapshotEvery, *chaosSeed)
+				if err != nil {
+					fmt.Fprintf(stderr, "marketsim: %s/%s (chaos): %v\n", sc.Name, kind, err)
+					return exitUsage
+				}
+				violations += v
+				diverged += d
 			}
 		}
 	}
@@ -197,6 +228,52 @@ func runOne(sc *scenario.Scenario, kind string, cfg scenario.Config, telem bool)
 		return rep, nil, fmt.Errorf("reconstructing report from event stream: %w", err)
 	}
 	return rep, rec, nil
+}
+
+// runChaosPair runs the scenario twice under the same seeded-random
+// fault schedule: each leg gets a fresh chaos injector, a fresh
+// journal subdirectory, and a deliberately never-drained telemetry
+// subscriber (the stall fault — publishers must stay non-blocking).
+// The two legs must fingerprint-match each other: a chaos schedule is
+// allowed to change outcomes relative to the fault-free run (breakers
+// open, quotes go stale), but it must do so deterministically. Returns
+// the invariant-violation and divergence counts.
+func runChaosPair(stdout, stderr *os.File, sc *scenario.Scenario, kind string, cfg scenario.Config, journalDir string, fsyncEvery, snapshotEvery int, chaosSeed int64) (violations, diverged int, err error) {
+	var reps [2]*scenario.Report
+	for i := 0; i < 2; i++ {
+		ccfg := cfg
+		ccfg.JournalDir = filepath.Join(journalDir, fmt.Sprintf("%s-%s-chaos%d", sc.Name, kind, i))
+		ccfg.FsyncEvery = fsyncEvery
+		ccfg.SnapshotEvery = snapshotEvery
+		ccfg.Injector = fault.NewChaos(chaosSeed)
+		fire := telemetry.NewFirehose()
+		ccfg.Telemetry = fire
+		ccfg.Injector.AttachTelemetry(fire)
+		stall := fault.Stall(fire)
+		b, berr := scenario.NewBackend(kind, ccfg)
+		if berr != nil {
+			stall.Close()
+			return violations, diverged, berr
+		}
+		rep, rerr := scenario.Run(sc, b, ccfg)
+		b.Close()
+		stall.Close()
+		if rerr != nil {
+			return violations, diverged, rerr
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(stderr, "marketsim: INVARIANT VIOLATED: %s/%s (chaos leg %d): %s\n", sc.Name, kind, i, v)
+		}
+		violations += len(rep.Violations)
+		reps[i] = rep
+	}
+	if reps[0].Fingerprint() != reps[1].Fingerprint() {
+		fmt.Fprintf(stderr, "marketsim: DIVERGED: %s/%s (chaos): leg fingerprints %s vs %s\n",
+			sc.Name, kind, reps[0].Fingerprint()[:16], reps[1].Fingerprint()[:16])
+		return violations, diverged + 1, nil
+	}
+	fmt.Fprintf(stdout, "%-18s %-10s chaos runs match fingerprint %s\n", sc.Name, kind, reps[0].Fingerprint()[:16])
+	return violations, diverged, nil
 }
 
 // checkStream compares a run's fingerprint with its stream

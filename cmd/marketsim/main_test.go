@@ -58,6 +58,35 @@ func TestCrashRecoverySoak(t *testing.T) {
 	}
 }
 
+func TestChaosSoak(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// The scripted fault scenarios under a seeded chaos schedule: both
+	// chaos legs must fingerprint-match each other and the invariant
+	// kernel must hold under fire, on both backends.
+	for _, sc := range []string{"disk-fault", "partition-storm"} {
+		args := []string{"-scenario", sc, "-backend", "both", "-seed", "42",
+			"-chaos", "-chaos-seed", "7", "-epochs", "4", "-journal-dir", t.TempDir()}
+		if code := run(args, devnull, devnull); code != exitOK {
+			t.Fatalf("%s: exit code = %d, want %d", sc, code, exitOK)
+		}
+	}
+}
+
+func TestChaosRequiresJournalDir(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-chaos"}, devnull, devnull); code != exitUsage {
+		t.Fatalf("exit code = %d, want %d", code, exitUsage)
+	}
+}
+
 func TestCrashEpochRequiresJournalDir(t *testing.T) {
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {

@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"clustermarket/internal/journal"
+)
+
+// NewFS wraps a journal filesystem with the injector's disk faults:
+// ENOSPC/EIO/short writes on file writes, failed or delayed fsyncs,
+// and failed renames. inner nil means the real filesystem. Reads,
+// truncates, and directory creation pass through untouched — they are
+// the recovery and repair paths, and faulting them would simulate a
+// disk that can never heal rather than one that is misbehaving.
+func NewFS(inj *Injector, inner journal.FS) journal.FS {
+	if inner == nil {
+		inner = journal.OSFS()
+	}
+	return &fsys{inj: inj, inner: inner}
+}
+
+type fsys struct {
+	inj   *Injector
+	inner journal.FS
+}
+
+func (f *fsys) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+func (f *fsys) ReadFile(name string) ([]byte, error)         { return f.inner.ReadFile(name) }
+func (f *fsys) Truncate(name string, size int64) error       { return f.inner.Truncate(name, size) }
+
+func (f *fsys) OpenFile(name string, flag int, perm os.FileMode) (journal.File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj, name: name}, nil
+}
+
+func (f *fsys) Create(name string) (journal.File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: file, inj: f.inj, name: name}, nil
+}
+
+func (f *fsys) Rename(oldpath, newpath string) error {
+	if kind, ok := f.inj.take(OpDiskRename, newpath); ok {
+		if kind == Latency {
+			time.Sleep(latencyDelay)
+		} else {
+			return fmt.Errorf("fault: rename %s: %w", newpath, diskErr(kind))
+		}
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *fsys) SyncDir(dir string) error {
+	if kind, ok := f.inj.take(OpDiskFsync, dir); ok {
+		if kind == Latency {
+			time.Sleep(latencyDelay)
+		} else {
+			return fmt.Errorf("fault: sync dir %s: %w", dir, diskErr(kind))
+		}
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes on one open file's write and fsync paths.
+type faultFile struct {
+	f    journal.File
+	inj  *Injector
+	name string
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	kind, ok := ff.inj.take(OpDiskWrite, ff.name)
+	if !ok {
+		return ff.f.Write(p)
+	}
+	switch kind {
+	case ShortWrite:
+		// Half the frame lands, then the device errors: the torn-write
+		// case the journal must retract before anything can read it.
+		n, _ := ff.f.Write(p[:len(p)/2])
+		return n, fmt.Errorf("fault: short write %s: %w", ff.name, errEIO)
+	case Latency:
+		time.Sleep(latencyDelay)
+		return ff.f.Write(p)
+	default:
+		return 0, fmt.Errorf("fault: write %s: %w", ff.name, diskErr(kind))
+	}
+}
+
+func (ff *faultFile) Sync() error {
+	kind, ok := ff.inj.take(OpDiskFsync, ff.name)
+	if !ok {
+		return ff.f.Sync()
+	}
+	if kind == Latency {
+		time.Sleep(latencyDelay)
+		return ff.f.Sync()
+	}
+	return fmt.Errorf("fault: fsync %s: %w", ff.name, diskErr(kind))
+}
+
+func (ff *faultFile) Close() error { return ff.f.Close() }
+
+func diskErr(kind Kind) error {
+	if kind == ENOSPC {
+		return errENOSPC
+	}
+	return errEIO
+}

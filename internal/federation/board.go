@@ -7,6 +7,12 @@ import (
 
 var inf = math.Inf(1)
 
+// staleQuoteBound is the gossip-staleness bound: a board quote more than
+// this many gossip ticks behind the clock is suspect — the region it
+// prices may have been partitioned away since — and the router
+// deprioritizes legs priced from it (see SubmitProduct's leg sort).
+const staleQuoteBound = 3
+
 // Quote is one region's entry on the federation's price board: the most
 // recent view of that region's prices, refreshed by gossip ticks.
 type Quote struct {

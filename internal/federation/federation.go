@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"clustermarket/internal/fault"
 	"clustermarket/internal/journal"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
@@ -24,6 +25,10 @@ type Leg struct {
 	// Est is the price-board cost estimate used to order legs at routing
 	// time (cheapest region first).
 	Est float64
+	// Suspect marks a leg priced from a quote older than the gossip
+	// staleness bound: the router still tries it, but only after every
+	// fresh-quoted leg, however cheap the stale numbers claim it is.
+	Suspect bool
 	// OrderID is the regional order, or −1 while the leg is unsubmitted.
 	OrderID int
 	// Status mirrors the regional order's status once submitted.
@@ -135,6 +140,12 @@ type Federation struct {
 	fire          *telemetry.Firehose
 	snapshotEvery int
 	settleCount   int
+
+	// inj (possibly nil — a nil injector never fires) is the fault seam
+	// on region calls and gossip; breakers tracks per-region health.
+	// Both are attached before traffic and internally synchronized.
+	inj      *fault.Injector
+	breakers *breakerSet
 }
 
 // NewFederation assembles regions into one federated market. Region
@@ -165,7 +176,17 @@ func NewFederation(regions ...*Region) (*Federation, error) {
 			f.owner[cl] = r.name
 		}
 	}
+	f.breakers = newBreakerSet(regions)
 	return f, nil
+}
+
+// AttachFaults attaches a fault injector to the federation's region-call
+// boundaries: order routing, settlement entry, and gossip. Attach before
+// serving traffic; a nil injector (or none) means no faults.
+func (f *Federation) AttachFaults(inj *fault.Injector) {
+	f.mu.Lock()
+	f.inj = inj
+	f.mu.Unlock()
 }
 
 // Regions returns the member regions in registration order.
@@ -250,25 +271,55 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 
 	legs := make([]*Leg, 0, len(regionOrder))
 	f.mu.Lock()
+	inj := f.inj
 	for _, rn := range regionOrder {
 		leg := &Leg{Region: rn, Clusters: groups[rn], Est: inf, OrderID: -1}
 		if q, ok := f.quoteLocked(f.byName[rn]); ok {
 			leg.Est = f.byName[rn].legCost(q, cover, leg.Clusters)
+			// A quote past the staleness bound may be pricing a partition
+			// survivor's last gossip from before the cut: the leg is still
+			// routable, but only after every fresh-quoted leg.
+			leg.Suspect = f.gossipTick-q.Tick > staleQuoteBound
 		}
 		legs = append(legs, leg)
 	}
 	f.mu.Unlock()
-	// Cheapest region first: the price board steers substitutable demand
-	// toward cold regions. Ties keep the caller's cluster order.
-	sort.SliceStable(legs, func(i, j int) bool { return legs[i].Est < legs[j].Est })
+	// Cheapest region first, with suspect (stale-quoted) legs deprioritized
+	// behind every fresh-quoted one: the price board steers substitutable
+	// demand toward cold regions, but not on numbers a partition may have
+	// frozen. Ties keep the caller's cluster order.
+	sort.SliceStable(legs, func(i, j int) bool {
+		if legs[i].Suspect != legs[j].Suspect {
+			return !legs[i].Suspect
+		}
+		return legs[i].Est < legs[j].Est
+	})
 
-	// Book the first acceptable leg, lock-free. auctionsBefore snapshots
+	// Fault seam: a partitioned target region fails the routing call here,
+	// before any state has moved, so a caller retry after the partition
+	// heals replays the identical operation. Injected failures feed the
+	// region's breaker; organic rejections below (budget, product) do not.
+	if err := inj.Region(fault.OpRegionOrder, legs[0].Region); err != nil {
+		f.breakers.failure(legs[0].Region)
+		return nil, err
+	}
+
+	// Book the first acceptable leg, lock-free. Regions whose breaker is
+	// open are skipped — the same at-most-one-leg failover that handles a
+	// lost leg handles a partitioned region. auctionsBefore snapshots
 	// the target region's settlement count so a clock completing between
 	// this submit and the registration below cannot strand the order.
 	active := -1
 	auctionsBefore := 0
 	var lastErr error
 	for i, leg := range legs {
+		if !f.breakers.allow(leg.Region) {
+			leg.Err = "federation: region breaker open"
+			if lastErr == nil {
+				lastErr = fmt.Errorf("federation: region %q breaker open", leg.Region)
+			}
+			continue
+		}
 		r := f.byName[leg.Region]
 		auctionsBefore = r.ex.AuctionCount()
 		o, err := r.ex.SubmitProduct(team, product, qty, leg.Clusters, limit)
@@ -285,6 +336,7 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 	if active < 0 {
 		return nil, lastErr
 	}
+	f.breakers.success(legs[active].Region)
 
 	f.mu.Lock()
 	fo := &FedOrder{
@@ -343,6 +395,13 @@ func (f *Federation) submitNextLegLocked(fo *FedOrder) error {
 	var lastErr error
 	for next := fo.Active + 1; next < len(fo.Legs); next++ {
 		leg := fo.Legs[next]
+		if !f.breakers.allow(leg.Region) {
+			leg.Err = "federation: region breaker open"
+			if lastErr == nil {
+				lastErr = fmt.Errorf("federation: region %q breaker open", leg.Region)
+			}
+			continue
+		}
 		o, err := f.byName[leg.Region].ex.SubmitProduct(fo.Team, fo.Product, fo.Qty, leg.Clusters, fo.Limit)
 		if err != nil {
 			leg.Err = err.Error()
@@ -525,6 +584,23 @@ func (f *Federation) SettleRegion(name string) (*market.AuctionRecord, error) {
 	if !ok {
 		return nil, fmt.Errorf("federation: no region %q", name)
 	}
+	f.mu.Lock()
+	inj := f.inj
+	f.mu.Unlock()
+	// Fault seam, before any state moves: a partitioned region fails its
+	// settlement round cleanly (feeding the breaker), so a retry after the
+	// partition heals replays the identical round. The gossip window is
+	// consumed here too — an Unreachable gossip fault loses this round's
+	// quote (the board goes stale) without failing the settlement, and
+	// deliberately does not feed the breaker: stale prices degrade routing
+	// quality, not region health.
+	if err := inj.Region(fault.OpRegionSettle, name); err != nil {
+		f.breakers.failure(name)
+		return nil, err
+	}
+	f.breakers.success(name)
+	gossipLost := inj.Region(fault.OpRegionGossip, name) != nil
+
 	rec, _, err := r.ex.RunAuction()
 	f.mu.Lock()
 	f.gossipTick++
@@ -533,7 +609,9 @@ func (f *Federation) SettleRegion(name string) (*market.AuctionRecord, error) {
 	if f.materializingLocked() {
 		f.emitLocked(&FedEvent{Kind: EvFedGossip, Tick: f.gossipTick})
 	}
-	f.gossipRegionLocked(r)
+	if !gossipLost {
+		f.gossipRegionLocked(r)
+	}
 	f.mu.Unlock()
 	f.advanceRegion(name)
 

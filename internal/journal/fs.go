@@ -1,0 +1,58 @@
+package journal
+
+import "os"
+
+// FS is the filesystem seam under the journal: every disk operation the
+// WAL and snapshot paths perform goes through one of these methods, so
+// a test (or internal/fault's deterministic injector) can interpose
+// ENOSPC, EIO, short writes, and latency at exactly the call sites the
+// durability contract must survive. The LOCK file is deliberately *not*
+// behind the seam — flock(2) needs a real descriptor, and faulting the
+// lock would only simulate a second process, which tests do directly.
+//
+// Implementations must be safe for use from one goroutine at a time per
+// file; the journal serializes all calls under its own mutex.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames durable.
+	SyncDir(dir string) error
+}
+
+// File is the journal's view of an open file: sequential writes, fsync,
+// close. *os.File satisfies it.
+type File interface {
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Close() error
+}
+
+// OSFS returns the real filesystem. It is the default when Options.FS
+// is nil, and the inner layer fault injectors wrap.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -22,9 +22,18 @@
 // Recovery = snapshot + replay of the WAL tail. A torn tail — a partial
 // frame or a CRC mismatch, the signature of a mid-write crash — is
 // physically truncated to the last durable prefix and reported (with the
-// byte offset) in Recovery, never served; Open fails hard only when the
-// surviving files cannot reconstruct any consistent prefix (for
-// instance, a rotated WAL whose covering snapshot is unreadable).
+// byte offset, frame index, and best-effort event kind) in Recovery,
+// never served; Open fails hard only when the surviving files cannot
+// reconstruct any consistent prefix (for instance, a rotated WAL whose
+// covering snapshot is unreadable).
+//
+// Disk faults at runtime are first-class, not just crash artifacts:
+// every disk operation goes through the Options.FS seam, and a failed
+// append (write error, short write, or a failed group-commit fsync)
+// rolls the WAL back to its pre-append length before the error is
+// returned — no partial frame is ever readable, a retried append
+// reproduces the identical byte stream, and Probe lets a degraded
+// caller test whether the disk has healed.
 package journal
 
 import (
@@ -34,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -53,6 +63,12 @@ const walHeaderSize = 6 + 8 // magic + little-endian firstSeq
 // ErrClosed is returned by operations on a closed (or crashed) journal.
 var ErrClosed = errors.New("journal: closed")
 
+// ErrLocked is wrapped into Open's error when another live process
+// holds the directory flock, so supervisors can distinguish a
+// lock-held race (retryable: the old process is still shutting down)
+// from real damage. Test with errors.Is.
+var ErrLocked = errors.New("journal: directory locked")
+
 // Options tunes a Journal.
 type Options struct {
 	// FsyncEvery is the group-commit window: the WAL is fsynced after
@@ -61,6 +77,10 @@ type Options struct {
 	// windows amortize the fsync across a batch, bounding power loss to
 	// the window while a plain process crash still loses nothing.
 	FsyncEvery int
+	// FS is the filesystem the journal operates through; nil means the
+	// real one (OSFS). Tests and internal/fault substitute an injecting
+	// wrapper to exercise the disk-failure paths deterministically.
+	FS FS
 }
 
 // Recovery is what Open found on disk: the latest durable snapshot (if
@@ -78,6 +98,13 @@ type Recovery struct {
 	Truncated   bool
 	TruncOffset int64
 	TruncReason string
+	// TruncFrame is the 0-based index, within this WAL, of the first
+	// discarded frame, and TruncKind the event kind decoded (best
+	// effort) from whatever payload bytes of it survive — together they
+	// tell an operator *what* was lost, not just where. TruncKind is ""
+	// when the bytes are undecodable. Only meaningful when Truncated.
+	TruncFrame int
+	TruncKind  string
 	// Notes collects non-fatal recovery observations (ignored snapshots,
 	// rebuilt WAL headers, truncations).
 	Notes []string
@@ -96,10 +123,13 @@ type Journal struct {
 	mu       sync.Mutex
 	dir      string
 	opts     Options
-	wal      *os.File
+	fs       FS
+	wal      File
 	lock     *os.File
 	seq      uint64 // last assigned sequence number
 	unsynced int    // appends since the last fsync
+	good     int64  // byte length of the fully-framed WAL prefix
+	torn     bool   // a failed write left a tail past good that must be cut
 	dead     bool
 
 	// Operational counters behind /metrics. Atomic so Metrics never
@@ -116,8 +146,9 @@ type Journal struct {
 // Metrics is a point-in-time copy of the journal's operational
 // counters.
 type Metrics struct {
-	// Appends and Bytes count framed records and frame bytes written to
-	// the WAL (headers included).
+	// Appends and Bytes count framed records and frame bytes durably
+	// acknowledged to the WAL (headers included); rolled-back appends
+	// are not counted.
 	Appends, Bytes uint64
 	// Fsyncs counts group-commit fsyncs of the WAL; FsyncLatency is
 	// their latency distribution. Snapshots counts durable snapshot
@@ -155,19 +186,23 @@ type snapshotFile struct {
 // Open acquires the directory (creating it if needed), recovers its
 // durable state, and returns the journal positioned to append after the
 // recovered prefix. A second Open of the same directory by a live
-// process fails with a lockfile error.
+// process fails with an error wrapping ErrLocked.
 func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 	if opts.FsyncEvery <= 0 {
 		opts.FsyncEvery = 1
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS()
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: create %s: %w", dir, err)
 	}
 	lock, err := acquireLock(dir)
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{dir: dir, opts: opts, lock: lock, fsyncLat: telemetry.NewFsyncHistogram()}
+	j := &Journal{dir: dir, opts: opts, fs: fs, lock: lock, fsyncLat: telemetry.NewFsyncHistogram()}
 	rec, err := j.recover()
 	if err != nil {
 		lock.Close()
@@ -177,7 +212,8 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 }
 
 // acquireLock flocks dir/LOCK exclusively, non-blocking. The lock dies
-// with the process, so stale lockfiles never block recovery.
+// with the process, so stale lockfiles never block recovery. The lock
+// is raw os, never behind the FS seam: flock needs a real descriptor.
 func acquireLock(dir string) (*os.File, error) {
 	path := filepath.Join(dir, "LOCK")
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
@@ -186,7 +222,7 @@ func acquireLock(dir string) (*os.File, error) {
 	}
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("journal: directory %s is locked by another process (flock %s): %w", dir, path, err)
+		return nil, fmt.Errorf("journal: directory %s is locked by another process (flock %s: %v): %w", dir, path, err, ErrLocked)
 	}
 	return f, nil
 }
@@ -202,7 +238,7 @@ func (j *Journal) recover() (*Recovery, error) {
 	// Snapshot: an unreadable file (empty, partial, corrupt JSON) is
 	// ignored with a note — recovery can still succeed from a full WAL.
 	var snapSeq uint64
-	if raw, err := os.ReadFile(j.snapPath()); err == nil {
+	if raw, err := j.fs.ReadFile(j.snapPath()); err == nil {
 		var snap snapshotFile
 		if jerr := json.Unmarshal(raw, &snap); jerr != nil {
 			rec.Notes = append(rec.Notes, fmt.Sprintf("snapshot %s unreadable (%v); ignored", j.snapPath(), jerr))
@@ -215,17 +251,18 @@ func (j *Journal) recover() (*Recovery, error) {
 		return nil, fmt.Errorf("journal: read snapshot: %w", err)
 	}
 
-	data, err := os.ReadFile(j.walPath())
+	data, err := j.fs.ReadFile(j.walPath())
 	switch {
 	case os.IsNotExist(err):
 		if err := j.writeFreshWAL(snapSeq + 1); err != nil {
 			return nil, err
 		}
 		j.seq = snapSeq
+		j.good = walHeaderSize
 	case err != nil:
 		return nil, fmt.Errorf("journal: read wal: %w", err)
 	default:
-		firstSeq, payloads, goodLen, reason, perr := parseWAL(data)
+		firstSeq, payloads, goodLen, reason, tornTail, perr := parseWAL(data)
 		if perr != nil {
 			return nil, fmt.Errorf("journal: wal %s: %w", j.walPath(), perr)
 		}
@@ -240,16 +277,23 @@ func (j *Journal) recover() (*Recovery, error) {
 				return nil, err
 			}
 			j.seq = snapSeq
+			j.good = walHeaderSize
 			break
 		}
 		if reason != "" {
 			rec.Truncated = true
 			rec.TruncOffset = goodLen
 			rec.TruncReason = reason
+			rec.TruncFrame = len(payloads)
+			rec.TruncKind = payloadKind(tornTail)
+			lost := fmt.Sprintf("frame %d", rec.TruncFrame)
+			if rec.TruncKind != "" {
+				lost += fmt.Sprintf(" (%s event)", rec.TruncKind)
+			}
 			rec.Notes = append(rec.Notes, fmt.Sprintf(
-				"wal %s: %s; truncated to last durable prefix (%d bytes, %d records)",
-				j.walPath(), reason, goodLen, len(payloads)))
-			if err := os.Truncate(j.walPath(), goodLen); err != nil {
+				"wal %s: %s; discarded %s, truncated to last durable prefix (%d bytes, %d records)",
+				j.walPath(), reason, lost, goodLen, len(payloads)))
+			if err := j.fs.Truncate(j.walPath(), goodLen); err != nil {
 				return nil, fmt.Errorf("journal: truncate torn wal: %w", err)
 			}
 		}
@@ -272,9 +316,10 @@ func (j *Journal) recover() (*Recovery, error) {
 		if j.seq < snapSeq {
 			j.seq = snapSeq
 		}
+		j.good = goodLen
 	}
 
-	f, err := os.OpenFile(j.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := j.fs.OpenFile(j.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: open wal for append: %w", err)
 	}
@@ -284,15 +329,17 @@ func (j *Journal) recover() (*Recovery, error) {
 
 // parseWAL walks the framed records. It returns the parsed payloads,
 // the byte length of the valid prefix, and — when the file ends in a
-// torn or corrupt frame — a human reason naming the byte offset. A
-// foreign header (wrong magic) is a hard error.
-func parseWAL(data []byte) (firstSeq uint64, payloads [][]byte, goodLen int64, reason string, err error) {
+// torn or corrupt frame — a human reason naming the byte offset plus
+// whatever payload bytes of the offending frame survive (for
+// best-effort kind identification). A foreign header (wrong magic) is
+// a hard error.
+func parseWAL(data []byte) (firstSeq uint64, payloads [][]byte, goodLen int64, reason string, torn []byte, err error) {
 	if len(data) < walHeaderSize {
 		return 0, nil, int64(len(data)),
-			fmt.Sprintf("torn header: %d of %d bytes", len(data), walHeaderSize), nil
+			fmt.Sprintf("torn header: %d of %d bytes", len(data), walHeaderSize), nil, nil
 	}
 	if !bytes.Equal(data[:len(walMagic)], walMagic) {
-		return 0, nil, 0, "", fmt.Errorf("bad magic %q (not a journal WAL)", data[:len(walMagic)])
+		return 0, nil, 0, "", nil, fmt.Errorf("bad magic %q (not a journal WAL)", data[:len(walMagic)])
 	}
 	firstSeq = binary.LittleEndian.Uint64(data[len(walMagic):walHeaderSize])
 	off := int64(walHeaderSize)
@@ -300,23 +347,47 @@ func parseWAL(data []byte) (firstSeq uint64, payloads [][]byte, goodLen int64, r
 		rest := data[off:]
 		if len(rest) < 8 {
 			return firstSeq, payloads, off,
-				fmt.Sprintf("torn record frame at byte offset %d (%d trailing bytes)", off, len(rest)), nil
+				fmt.Sprintf("torn record frame at byte offset %d (%d trailing bytes)", off, len(rest)), nil, nil
 		}
 		n := binary.LittleEndian.Uint32(rest[:4])
 		sum := binary.LittleEndian.Uint32(rest[4:8])
 		if int64(n) > int64(len(rest))-8 {
 			return firstSeq, payloads, off,
-				fmt.Sprintf("torn record at byte offset %d (payload length %d, only %d bytes remain)", off, n, len(rest)-8), nil
+				fmt.Sprintf("torn record at byte offset %d (payload length %d, only %d bytes remain)", off, n, len(rest)-8), rest[8:], nil
 		}
 		payload := rest[8 : 8+n]
 		if crc32.ChecksumIEEE(payload) != sum {
 			return firstSeq, payloads, off,
-				fmt.Sprintf("CRC mismatch at byte offset %d (record seq %d)", off, firstSeq+uint64(len(payloads))), nil
+				fmt.Sprintf("CRC mismatch at byte offset %d (record seq %d)", off, firstSeq+uint64(len(payloads))), payload, nil
 		}
 		payloads = append(payloads, append([]byte(nil), payload...))
 		off += 8 + int64(n)
 	}
-	return firstSeq, payloads, off, "", nil
+	return firstSeq, payloads, off, "", nil, nil
+}
+
+// payloadKind best-effort decodes the event kind from a frame payload
+// that may be partial or corrupt. Event payloads are JSON objects whose
+// kind is the leading "k" field (market and federation events alike),
+// so even a torn prefix usually identifies what was lost.
+func payloadKind(p []byte) string {
+	if len(p) == 0 {
+		return ""
+	}
+	var probe struct {
+		K string `json:"k"`
+	}
+	if err := json.Unmarshal(p, &probe); err == nil && probe.K != "" {
+		return probe.K
+	}
+	const key = `"k":"`
+	if i := bytes.Index(p, []byte(key)); i >= 0 {
+		rest := p[i+len(key):]
+		if end := bytes.IndexByte(rest, '"'); end > 0 {
+			return string(rest[:end])
+		}
+	}
+	return ""
 }
 
 // writeFreshWAL creates an empty WAL whose first record will carry
@@ -327,7 +398,7 @@ func (j *Journal) writeFreshWAL(firstSeq uint64) error {
 	copy(hdr[:], walMagic)
 	binary.LittleEndian.PutUint64(hdr[len(walMagic):], firstSeq)
 	tmp := j.walPath() + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := j.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("journal: create wal: %w", err)
 	}
@@ -342,19 +413,14 @@ func (j *Journal) writeFreshWAL(firstSeq uint64) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: close wal: %w", err)
 	}
-	if err := os.Rename(tmp, j.walPath()); err != nil {
+	if err := j.fs.Rename(tmp, j.walPath()); err != nil {
 		return fmt.Errorf("journal: install wal: %w", err)
 	}
-	return syncDir(j.dir)
+	return j.syncDir()
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("journal: open dir for sync: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func (j *Journal) syncDir() error {
+	if err := j.fs.SyncDir(j.dir); err != nil {
 		return fmt.Errorf("journal: sync dir: %w", err)
 	}
 	return nil
@@ -373,7 +439,10 @@ func (j *Journal) Dir() string { return j.dir }
 // Append writes one framed record to the WAL and returns its sequence
 // number. The record hits the file descriptor before Append returns (a
 // process crash cannot lose it); it is fsynced per Options.FsyncEvery
-// (power loss is bounded by the group-commit window).
+// (power loss is bounded by the group-commit window). On failure the
+// WAL is rolled back to its pre-append length: the failed record is
+// never readable, the sequence number is not consumed, and an
+// identical retry is safe.
 func (j *Journal) Append(payload []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -382,12 +451,15 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 
 // AppendBatch writes records as one write(2) and returns the sequence
 // of the last. The batch counts as len(payloads) records toward the
-// group-commit window.
+// group-commit window. Failure rolls back the whole batch.
 func (j *Journal) AppendBatch(payloads [][]byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.dead {
 		return 0, ErrClosed
+	}
+	if err := j.repairIfTornLocked(); err != nil {
+		return 0, err
 	}
 	size := 0
 	for _, p := range payloads {
@@ -397,14 +469,7 @@ func (j *Journal) AppendBatch(payloads [][]byte) (uint64, error) {
 	for _, p := range payloads {
 		buf = appendFrame(buf, p)
 	}
-	if _, err := j.wal.Write(buf); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
-	}
-	j.appends.Add(uint64(len(payloads)))
-	j.bytes.Add(uint64(len(buf)))
-	j.seq += uint64(len(payloads))
-	j.unsynced += len(payloads)
-	if err := j.maybeSyncLocked(); err != nil {
+	if err := j.writeFramesLocked(buf, len(payloads)); err != nil {
 		return 0, err
 	}
 	return j.seq, nil
@@ -414,18 +479,91 @@ func (j *Journal) appendLocked(payload []byte) (uint64, error) {
 	if j.dead {
 		return 0, ErrClosed
 	}
-	buf := appendFrame(make([]byte, 0, 8+len(payload)), payload)
-	if _, err := j.wal.Write(buf); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
+	if err := j.repairIfTornLocked(); err != nil {
+		return 0, err
 	}
-	j.appends.Add(1)
-	j.bytes.Add(uint64(len(buf)))
-	j.seq++
-	j.unsynced++
-	if err := j.maybeSyncLocked(); err != nil {
+	buf := appendFrame(make([]byte, 0, 8+len(payload)), payload)
+	if err := j.writeFramesLocked(buf, 1); err != nil {
 		return 0, err
 	}
 	return j.seq, nil
+}
+
+// writeFramesLocked writes one fully framed buffer carrying n records
+// and advances the sequence, rolling the WAL back to its pre-write
+// length on any failure — write error, short write, or a failed
+// group-commit fsync — so an unacknowledged record never becomes
+// readable and a retry reproduces the identical byte stream.
+func (j *Journal) writeFramesLocked(buf []byte, n int) error {
+	start := j.good
+	wrote, werr := j.wal.Write(buf)
+	if werr != nil || wrote != len(buf) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
+		j.retractLocked(start)
+		return fmt.Errorf("journal: append: %w", werr)
+	}
+	j.good += int64(len(buf))
+	j.seq += uint64(n)
+	j.unsynced += n
+	if err := j.maybeSyncLocked(); err != nil {
+		// The frames hit the fd but their durability is unknown; retract
+		// them so the acknowledged prefix and the file agree and the
+		// caller's retry cannot duplicate them.
+		j.seq -= uint64(n)
+		j.unsynced -= n
+		j.retractLocked(start)
+		return err
+	}
+	j.appends.Add(uint64(n))
+	j.bytes.Add(uint64(len(buf)))
+	return nil
+}
+
+// retractLocked cuts the WAL back to good bytes after a failed write so
+// no partial or unacknowledged frame is ever readable. If the truncate
+// itself fails (the disk is truly sick) the journal is marked torn and
+// the cut is retried before the next append, or by Probe.
+func (j *Journal) retractLocked(good int64) {
+	j.good = good
+	if err := j.fs.Truncate(j.walPath(), good); err != nil {
+		j.torn = true
+		return
+	}
+	j.torn = false
+}
+
+func (j *Journal) repairIfTornLocked() error {
+	if !j.torn {
+		return nil
+	}
+	if err := j.fs.Truncate(j.walPath(), j.good); err != nil {
+		return fmt.Errorf("journal: repair torn tail: %w", err)
+	}
+	j.torn = false
+	return nil
+}
+
+// Probe checks whether the journal can currently persist: it repairs
+// any torn tail left behind by a failed append, then forces an fsync
+// round trip of the WAL. A nil return means the disk accepted a full
+// write path and appends may resume — the health check degraded
+// callers use to decide when to exit quiesce.
+func (j *Journal) Probe() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return ErrClosed
+	}
+	if err := j.repairIfTornLocked(); err != nil {
+		return err
+	}
+	if err := j.syncWALLocked(); err != nil {
+		return fmt.Errorf("journal: probe fsync: %w", err)
+	}
+	j.unsynced = 0
+	return nil
 }
 
 func appendFrame(buf, payload []byte) []byte {
@@ -469,6 +607,12 @@ func (j *Journal) Sync() error {
 // far, then rotates the WAL so replay restarts from the snapshot. The
 // caller must guarantee state reflects exactly the events up to the
 // current sequence (i.e. no concurrent appends are in flight).
+//
+// The rotation is failure-safe: the current WAL file and descriptor
+// are not touched until the replacement is durably written and renamed
+// into place, so a Snapshot that fails at any step leaves the journal
+// exactly as it was — fully appendable, with the old (longer) replay
+// tail — and the caller may simply retry later.
 func (j *Journal) Snapshot(state []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -480,7 +624,7 @@ func (j *Journal) Snapshot(state []byte) error {
 		return fmt.Errorf("journal: marshal snapshot: %w", err)
 	}
 	tmp := j.snapPath() + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := j.fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("journal: create snapshot: %w", err)
 	}
@@ -495,28 +639,55 @@ func (j *Journal) Snapshot(state []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: close snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, j.snapPath()); err != nil {
+	if err := j.fs.Rename(tmp, j.snapPath()); err != nil {
 		return fmt.Errorf("journal: install snapshot: %w", err)
 	}
-	if err := syncDir(j.dir); err != nil {
+	if err := j.syncDir(); err != nil {
 		return err
 	}
 	// The snapshot is durable; rotate the WAL so the replay tail is
-	// bounded. The old records are covered by the snapshot now.
-	if err := j.wal.Close(); err != nil {
-		return fmt.Errorf("journal: close old wal: %w", err)
+	// bounded. Build the replacement completely — written, synced, and
+	// reopened for append — before renaming it over the old WAL, and
+	// only then swap descriptors: a failure anywhere leaves the old WAL
+	// (whose records the snapshot now covers) still attached and valid.
+	var hdr [walHeaderSize]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], j.seq+1)
+	walTmp := j.walPath() + ".tmp"
+	tf, err := j.fs.Create(walTmp)
+	if err != nil {
+		return fmt.Errorf("journal: create wal: %w", err)
 	}
-	if err := j.writeFreshWAL(j.seq + 1); err != nil {
-		return err
+	if _, err := tf.Write(hdr[:]); err != nil {
+		tf.Close()
+		return fmt.Errorf("journal: write wal header: %w", err)
 	}
-	f, err = os.OpenFile(j.walPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return fmt.Errorf("journal: sync wal: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		return fmt.Errorf("journal: close wal: %w", err)
+	}
+	// Open the replacement while it is still at its tmp name: the
+	// descriptor follows the inode through the rename, and if this open
+	// fails the old WAL has not been displaced.
+	nf, err := j.fs.OpenFile(walTmp, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("journal: reopen wal: %w", err)
 	}
-	j.wal = f
+	if err := j.fs.Rename(walTmp, j.walPath()); err != nil {
+		nf.Close()
+		return fmt.Errorf("journal: install wal: %w", err)
+	}
+	old := j.wal
+	j.wal = nf
+	j.good = walHeaderSize
+	j.torn = false
 	j.unsynced = 0
+	old.Close()
 	j.snapshots.Add(1)
-	return nil
+	return j.syncDir()
 }
 
 // Close fsyncs and closes the journal, releasing the directory lock.

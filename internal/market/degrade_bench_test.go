@@ -1,0 +1,29 @@
+package market
+
+import "testing"
+
+// BenchmarkEpochLoopDegradedCheck pins the per-submit price of the
+// fault seam: rejectIfDegraded is one atomic load and a predictable
+// branch on the epoch-loop hot path, and must stay at 0 allocs/op
+// (marketlint's allocfree contract enforces the allocation bound
+// statically; this benchmark records the cycle cost in the baselines).
+func BenchmarkEpochLoopDegradedCheck(b *testing.B) {
+	b.ReportAllocs()
+	var e Exchange
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.rejectIfDegraded(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRejectIfDegradedZeroAlloc asserts the 0 allocs/op bound directly,
+// so a regression fails the test suite rather than only shifting a
+// benchmark number.
+func TestRejectIfDegradedZeroAlloc(t *testing.T) {
+	var e Exchange
+	if n := testing.AllocsPerRun(100, func() { _ = e.rejectIfDegraded() }); n != 0 {
+		t.Errorf("rejectIfDegraded allocates %v per op, want 0", n)
+	}
+}

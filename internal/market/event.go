@@ -46,6 +46,13 @@ const (
 	EvOrderPlaced = "order-placed"
 	// EvTaskEvicted removes one placed task from the fleet.
 	EvTaskEvicted = "task-evicted"
+
+	// EvDegradedEntered and EvDegradedExited mark the exchange entering
+	// and leaving degraded quiesce after a journal failure. They are
+	// telemetry-only: never journaled (replay must not see operational
+	// weather), published directly by the degrade machinery.
+	EvDegradedEntered = "degraded-entered"
+	EvDegradedExited  = "degraded-exited"
 )
 
 // Credit is one team's share of a disbursement.
@@ -102,7 +109,11 @@ func (e *Exchange) emitEvent(ev *Event) error {
 		if err != nil {
 			return fmt.Errorf("market: encode %s event: %w", ev.Kind, err)
 		}
-		if _, err := e.journal.Append(raw); err != nil {
+		if err := e.appendWithRetry(raw); err != nil {
+			// The journal has rolled its WAL back to the pre-append
+			// length, so nothing of this event is readable; quiesce so
+			// no further state is acknowledged until the disk heals.
+			e.enterDegraded(err)
 			return fmt.Errorf("market: journal %s event: %w", ev.Kind, err)
 		}
 	}

@@ -290,6 +290,10 @@ type Exchange struct {
 	// counters — the standard Prometheus counter-reset contract.
 	metrics exchangeMetrics
 	delta   fleetDelta
+	// degraded is the journal-failure quiesce state machine (degrade.go):
+	// set when an append exhausts its inline retries, cleared when a
+	// journal Probe succeeds again.
+	degraded degradeState
 }
 
 // NewExchange wires an exchange to a fleet. The registry is derived from
@@ -376,6 +380,9 @@ func (e *Exchange) Balance(team string) (float64, error) {
 // stay untouched by the exchange — and the returned Order is a snapshot;
 // poll Order/Orders for settlement status.
 func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
+	if err := e.rejectIfDegraded(); err != nil {
+		return nil, e.rejected(err)
+	}
 	if bid == nil {
 		return nil, e.rejected(errors.New("market: nil bid"))
 	}
@@ -446,6 +453,11 @@ func (e *Exchange) Submit(team string, bid *core.Bid) (*Order, error) {
 	o := &Order{ID: len(os.orders)*n + sIdx, Team: team, Bid: &b, Status: Open, Auction: -1}
 	if e.materializing() {
 		if err := e.emitEvent(&Event{Kind: EvOrderSubmitted, OrderID: o.ID, Team: team, Bid: &b}); err != nil {
+			// Un-consume the round-robin slot so a post-heal resubmit
+			// lands on the same stripe with the same ID (replay's
+			// applyOrderSubmitted advances the counter once per *logged*
+			// order, so this keeps live and replayed counters in step).
+			e.submitSeq.Add(^uint64(0))
 			as.mu.Unlock()
 			os.mu.Unlock()
 			return nil, err
@@ -955,6 +967,16 @@ func (e *Exchange) PreliminaryPrices() (prices resource.Vector, converged bool, 
 // epoch, no money moves, and the appended record shows Converged=false
 // with zero settled orders.
 func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
+	// A degraded exchange probes the journal on entry (rate-limited by
+	// the resume backoff schedule) and refuses to run the clock while the
+	// disk is sick: an auction whose settlement events cannot be
+	// journaled would either abort mid-batch or acknowledge unpersisted
+	// state, and quiescing is cheaper than both.
+	if e.Degraded() {
+		if err := e.TryResume(false); err != nil {
+			return nil, nil, ErrDegraded
+		}
+	}
 	e.auctionMu.Lock()
 	defer e.auctionMu.Unlock()
 
@@ -1014,7 +1036,7 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		// attempt and leave the batch open — but retire orders whose
 		// batch has now failed MaxAuctionAttempts times, so a cycling
 		// trader pair cannot livelock every future epoch.
-		for _, o := range open {
+		for i, o := range open {
 			var ev *Event
 			if o.Attempts+1 >= e.cfg.MaxAuctionAttempts {
 				ev = &Event{Kind: EvOrderSettled, OrderID: o.ID, Auction: num,
@@ -1025,6 +1047,13 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 					Attempts: o.Attempts + 1}
 			}
 			if err := e.emitEvent(ev); err != nil {
+				// Orders before i had their events journaled and applied (so
+				// their in-auction marks are already cleared); releasing the
+				// unprocessed tail leaves the books exactly as a replay of
+				// the durable prefix would — the crash-consistency contract,
+				// reached without crashing. The auction record is never
+				// appended, so the number is reused by the next clock.
+				e.releaseBatch(open[i:])
 				return nil, nil, err
 			}
 			if err := e.applyEvent(ev); err != nil {
@@ -1067,6 +1096,11 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 			e.metrics.lost.Add(1)
 		}
 		if err := e.emitEvent(ev); err != nil {
+			// Same contract as the non-convergent branch: the settled
+			// prefix open[:i] is durable and applied, the rest of the
+			// batch returns to Open, and the auction record is not
+			// written — replaying the journal reproduces this exact book.
+			e.releaseBatch(open[i:])
 			return nil, nil, err
 		}
 		if err := e.applyEvent(ev); err != nil {

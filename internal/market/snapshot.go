@@ -3,6 +3,7 @@ package market
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
@@ -79,12 +80,20 @@ func (e *Exchange) Snapshot() error {
 }
 
 // maybeSnapshotLocked snapshots on the configured auction cadence.
-// Callers hold settleMu.
+// Callers hold settleMu. A cadence snapshot that still fails after the
+// inline retries is *skipped*, not fatal: the journal's rotation is
+// failure-safe (the old WAL stays attached and appendable), so the
+// auction that triggered it stands, replay just runs a longer tail, and
+// the next cadence point tries again — but the exchange quiesces so the
+// sick disk is surfaced rather than silently accumulating tail.
 func (e *Exchange) maybeSnapshotLocked(num int) error {
 	if e.journal == nil || e.cfg.SnapshotEvery <= 0 || num%e.cfg.SnapshotEvery != 0 {
 		return nil
 	}
-	return e.snapshotLocked()
+	if err := e.snapshotLocked(); err != nil {
+		e.enterDegraded(err)
+	}
+	return nil
 }
 
 // snapshotLocked builds the state image and hands it to the journal.
@@ -117,7 +126,21 @@ func (e *Exchange) snapshotLocked() error {
 	if err != nil {
 		return fmt.Errorf("market: encode snapshot: %w", err)
 	}
-	return e.journal.Snapshot(raw)
+	// Same bounded heal loop as event appends: rotation is failure-safe,
+	// so each retry starts from an intact WAL.
+	if err = e.journal.Snapshot(raw); err == nil {
+		return nil
+	}
+	backoff := appendRetryBase
+	for attempt := 0; attempt < maxAppendRetries; attempt++ {
+		time.Sleep(backoff)
+		backoff *= 2
+		_ = e.journal.Probe()
+		if err = e.journal.Snapshot(raw); err == nil {
+			return nil
+		}
+	}
+	return err
 }
 
 func (e *Exchange) buildStateLocked() (*exchangeState, error) {

@@ -23,6 +23,7 @@ import (
 
 	"clustermarket/internal/cluster"
 	"clustermarket/internal/core"
+	"clustermarket/internal/fault"
 	"clustermarket/internal/federation"
 	"clustermarket/internal/invariant"
 	"clustermarket/internal/journal"
@@ -154,11 +155,34 @@ func marketConfig(cfg Config) market.Config {
 	}
 }
 
+// faultFS wires the config's injector under a journal's filesystem; a
+// nil injector selects the real filesystem.
+func faultFS(cfg Config) journal.FS {
+	if cfg.Injector == nil {
+		return nil
+	}
+	return fault.NewFS(cfg.Injector, nil)
+}
+
+// faultRetries bounds the backend-level force-resume-and-retry loops: a
+// fault burst deep enough to outlast the exchanges' bounded inline
+// retries (chaos schedules, hostile unit tests) quiesces the exchange;
+// the backend forces a resume probe and replays the operation, which the
+// entry-point fault seams keep side-effect-free on failure.
+const faultRetries = 8
+
+// faultRetryable reports whether the error is the fault machinery
+// speaking — an injected fault surfacing at an entry seam, or the
+// degraded-quiesce rejection — rather than an organic failure.
+func faultRetryable(err error) bool {
+	return errors.Is(err, market.ErrDegraded) || errors.Is(err, fault.ErrInjected)
+}
+
 // openFreshJournal opens a journal directory that must hold no prior
 // state: scenario backends always build fresh worlds, and recovery goes
 // through CrashRecover against the same directory.
 func openFreshJournal(dir string, cfg Config) (*journal.Journal, error) {
-	j, rec, err := journal.Open(dir, journal.Options{FsyncEvery: cfg.FsyncEvery})
+	j, rec, err := journal.Open(dir, journal.Options{FsyncEvery: cfg.FsyncEvery, FS: faultFS(cfg)})
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +266,7 @@ func (b *exchangeBackend) CrashRecover() error {
 		return errors.New("scenario: exchange backend has no journal to recover from")
 	}
 	b.journal.Crash()
-	j, rec, err := journal.Open(b.cfg.JournalDir, journal.Options{FsyncEvery: b.cfg.FsyncEvery})
+	j, rec, err := journal.Open(b.cfg.JournalDir, journal.Options{FsyncEvery: b.cfg.FsyncEvery, FS: faultFS(b.cfg)})
 	if err != nil {
 		return err
 	}
@@ -302,6 +326,12 @@ func (b *exchangeBackend) OpenAccount(team string) error         { return b.ex.O
 
 func (b *exchangeBackend) SubmitProduct(team, product string, qty float64, clusters []string, limit float64) (int, error) {
 	o, err := b.ex.SubmitProduct(team, product, qty, clusters, limit)
+	for attempt := 0; attempt < faultRetries && err != nil && faultRetryable(err); attempt++ {
+		// A rejected-for-degraded submit left no trace (the stripe slot is
+		// rolled back), so force a resume probe and replay it verbatim.
+		_ = b.ex.TryResume(true)
+		o, err = b.ex.SubmitProduct(team, product, qty, clusters, limit)
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -339,12 +369,24 @@ func (b *exchangeBackend) Outcome(id int) (Outcome, error) {
 
 func (b *exchangeBackend) Settle(map[string]bool) error {
 	// One auctioneer clears the whole book; a virtual region being dark
-	// only means no new demand names its clusters.
-	_, _, err := b.ex.RunAuction()
-	if err != nil && !errors.Is(err, market.ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
-		return err
+	// only means no new demand names its clusters. A fault burst deep
+	// enough to quiesce the exchange is answered with a forced resume
+	// probe and a replay — settlement aborts release the unprocessed
+	// batch, so the retried auction claims the identical order set.
+	var err error
+	for attempt := 0; attempt <= faultRetries; attempt++ {
+		if attempt > 0 {
+			_ = b.ex.TryResume(true)
+		}
+		_, _, err = b.ex.RunAuction()
+		if err == nil || errors.Is(err, market.ErrNoOpenOrders) || errors.Is(err, core.ErrNoConvergence) {
+			return nil
+		}
+		if !faultRetryable(err) {
+			return err
+		}
 	}
-	return nil
+	return err
 }
 
 func (b *exchangeBackend) EpochRecords() []*market.AuctionRecord {
@@ -372,7 +414,14 @@ func (b *exchangeBackend) EvictFraction(region string, frac float64) {
 }
 
 func (b *exchangeBackend) Disburse(total float64) error {
-	return b.ex.Disburse(market.EqualShares, total)
+	// Disburse is one event, so a journal-failure abort leaves nothing to
+	// undo and the whole operation retries cleanly.
+	err := b.ex.Disburse(market.EqualShares, total)
+	for attempt := 0; attempt < faultRetries && err != nil && faultRetryable(err); attempt++ {
+		_ = b.ex.TryResume(true)
+		err = b.ex.Disburse(market.EqualShares, total)
+	}
+	return err
 }
 
 func (b *exchangeBackend) ReservePrices(string) (resource.Vector, error) {
@@ -455,8 +504,10 @@ func NewFederationBackend(cfg Config) (Backend, error) {
 	}
 	// The router publishes its routing events to the same firehose the
 	// regional exchanges got through marketConfig, so one subscription
-	// sees the whole federated stream.
+	// sees the whole federated stream. The fault injector (possibly nil)
+	// interposes on its region calls and gossip.
 	fed.AttachTelemetry(cfg.Telemetry)
+	fed.AttachFaults(cfg.Injector)
 	if cfg.JournalDir != "" {
 		fj, err := openFreshJournal(filepath.Join(cfg.JournalDir, fedJournalName), cfg)
 		if err != nil {
@@ -498,7 +549,7 @@ func (b *federationBackend) CrashRecover() error {
 			closeAll()
 			return err
 		}
-		j, rec, err := journal.Open(filepath.Join(cfg.JournalDir, rn), journal.Options{FsyncEvery: cfg.FsyncEvery})
+		j, rec, err := journal.Open(filepath.Join(cfg.JournalDir, rn), journal.Options{FsyncEvery: cfg.FsyncEvery, FS: faultFS(cfg)})
 		if err != nil {
 			closeAll()
 			return err
@@ -513,7 +564,7 @@ func (b *federationBackend) CrashRecover() error {
 		}
 		members = append(members, r)
 	}
-	fj, frec, err := journal.Open(filepath.Join(cfg.JournalDir, fedJournalName), journal.Options{FsyncEvery: cfg.FsyncEvery})
+	fj, frec, err := journal.Open(filepath.Join(cfg.JournalDir, fedJournalName), journal.Options{FsyncEvery: cfg.FsyncEvery, FS: faultFS(cfg)})
 	if err != nil {
 		closeAll()
 		return err
@@ -530,8 +581,10 @@ func (b *federationBackend) CrashRecover() error {
 	}
 	fed.AttachJournal(fj, cfg.SnapshotEvery)
 	// Replay itself published nothing (recovery dispatches straight to
-	// applyEvent); the resurrected router rejoins the live stream here.
+	// applyEvent); the resurrected router rejoins the live stream here —
+	// and the fault seam, which the partition may still be arming.
 	fed.AttachTelemetry(cfg.Telemetry)
+	fed.AttachFaults(cfg.Injector)
 	if vs := invariant.CheckFederation(fed); len(vs) > 0 {
 		closeAll()
 		return fmt.Errorf("scenario: recovered federation fails invariants: %s", vs[0])
@@ -581,10 +634,26 @@ func (b *federationBackend) OpenAccount(team string) error { return b.fed.OpenAc
 
 func (b *federationBackend) SubmitProduct(team, product string, qty float64, clusters []string, limit float64) (int, error) {
 	fo, err := b.fed.SubmitProduct(team, product, qty, clusters, limit)
+	for attempt := 0; attempt < faultRetries && err != nil && faultRetryable(err); attempt++ {
+		// The router's fault seam fails routing before any state moves, and
+		// a degraded regional submit rolls its stripe slot back, so the
+		// replayed call is operation-identical — which is what lets a
+		// partition that heals leave no fingerprint.
+		b.forceResume()
+		fo, err = b.fed.SubmitProduct(team, product, qty, clusters, limit)
+	}
 	if err != nil {
 		return 0, err
 	}
 	return fo.ID, nil
+}
+
+// forceResume force-probes every region's exchange out of degraded
+// quiesce — the backend-level heal step between fault retries.
+func (b *federationBackend) forceResume() {
+	for _, rn := range b.regions {
+		_ = b.fed.Region(rn).Exchange().TryResume(true)
+	}
 }
 
 func (b *federationBackend) SubmitBid(clusterName, team string, bid *core.Bid) (int, error) {
@@ -621,13 +690,28 @@ func (b *federationBackend) Settle(down map[string]bool) error {
 	// Regions settle sequentially in registration order — the
 	// deterministic counterpart of Federation.Tick's concurrent wave —
 	// and dark regions are skipped entirely: their books, clocks, and
-	// gossip go silent until the region rejoins.
+	// gossip go silent until the region rejoins. An injected settlement
+	// fault fails the round before any state moves, so the retry replays
+	// the identical round once the partition window is consumed.
 	for _, rn := range b.regions {
 		if down[rn] {
 			continue
 		}
-		if _, err := b.fed.SettleRegion(rn); err != nil &&
-			!errors.Is(err, market.ErrNoOpenOrders) && !errors.Is(err, core.ErrNoConvergence) {
+		var err error
+		for attempt := 0; attempt <= faultRetries; attempt++ {
+			if attempt > 0 {
+				_ = b.fed.Region(rn).Exchange().TryResume(true)
+			}
+			_, err = b.fed.SettleRegion(rn)
+			if err == nil || errors.Is(err, market.ErrNoOpenOrders) || errors.Is(err, core.ErrNoConvergence) {
+				err = nil
+				break
+			}
+			if !faultRetryable(err) {
+				return err
+			}
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -681,7 +765,13 @@ func (b *federationBackend) EvictFraction(region string, frac float64) {
 func (b *federationBackend) Disburse(total float64) error {
 	share := total / float64(len(b.regions))
 	for _, rn := range b.regions {
-		if err := b.fed.Region(rn).Exchange().Disburse(market.EqualShares, share); err != nil {
+		ex := b.fed.Region(rn).Exchange()
+		err := ex.Disburse(market.EqualShares, share)
+		for attempt := 0; attempt < faultRetries && err != nil && faultRetryable(err); attempt++ {
+			_ = ex.TryResume(true)
+			err = ex.Disburse(market.EqualShares, share)
+		}
+		if err != nil {
 			return err
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"clustermarket/internal/fault"
 )
 
 // Catalog returns the named scenarios, sorted by name. Each entry is a
@@ -20,10 +22,17 @@ import (
 //	    mid-run demand ebb; run with Config.CrashEpoch on a journaled
 //	    backend, the kill-and-resurrect run must fingerprint-match the
 //	    uninterrupted one.
+//	disk-fault        — scripted ENOSPC/EIO/short-write/latency bursts
+//	    on the journal mid-run; every burst heals within the bounded
+//	    inline retries, so a journaled run must fingerprint-match the
+//	    fault-free run bit-identically.
 //	diurnal           — sinusoidal demand waves with load ebbing in the
 //	    troughs; prices must track the congestion cycle.
 //	flash-crowd       — a mid-run burst of demand pinned to the hottest
 //	    pool, paying heavy premiums, then subsiding.
+//	partition-storm   — transient region partitions: routing calls and
+//	    settlement rounds fail then heal, gossip stalls; the healed run
+//	    must fingerprint-match the fault-free run.
 //	region-outage     — region r2 goes dark mid-run and rejoins; orders
 //	    waiting on it settle after the rejoin.
 //	trader-storm      — hostile cycling trader pairs drive clock
@@ -115,6 +124,80 @@ func Catalog() []*Scenario {
 			Description: "adaptive bidders shade premiums from past results — the Table I learning curve",
 			Epochs:      10,
 			Adaptive:    true,
+		},
+		{
+			Name: "disk-fault",
+			Description: "scripted disk-fault bursts (ENOSPC, EIO, short writes, fsync latency) against every " +
+				"journal write site; each burst heals within the bounded inline retries, so the run must " +
+				"fingerprint-match the fault-free run",
+			Epochs: 8,
+			BudgetRefresh: func(epoch int) float64 {
+				// A refresh cycle keeps disbursement appends in the line of
+				// fire alongside submit and settlement appends.
+				if epoch > 0 && epoch%3 == 0 {
+					return 15000
+				}
+				return 0
+			},
+			Evict: func(epoch int) float64 {
+				// A mid-run ebb puts eviction appends under fault too.
+				if epoch == 5 {
+					return 0.25
+				}
+				return 0
+			},
+			// Counts stay ≤3 (under the 1+4 bounded inline append attempts)
+			// so every burst heals invisibly — the fingerprint-identity
+			// contract this scenario exists to enforce.
+			Faults: func(epoch int, regions []string) []fault.Window {
+				switch epoch {
+				case 2:
+					return []fault.Window{{Op: fault.OpDiskWrite, Kind: fault.ENOSPC, Count: 3}}
+				case 3:
+					return []fault.Window{{Op: fault.OpDiskFsync, Kind: fault.EIO, Count: 2}}
+				case 4:
+					return []fault.Window{
+						{Op: fault.OpDiskWrite, Kind: fault.ShortWrite, Count: 2},
+						{Op: fault.OpDiskFsync, Kind: fault.Latency, Count: 3},
+					}
+				case 5:
+					return []fault.Window{
+						{Op: fault.OpDiskRename, Kind: fault.EIO, Count: 1},
+						{Op: fault.OpDiskWrite, Kind: fault.EIO, Count: 2},
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "partition-storm",
+			Description: "transient region partitions: routing calls and settlement rounds fail then heal, " +
+				"gossip stalls; the healed run must fingerprint-match the fault-free run",
+			Epochs: 9,
+			// Counts stay ≤2 — under both the backend retry budget and the
+			// breaker threshold (3), so scripted partitions heal invisibly
+			// and the breaker opens only in chaos runs and unit tests.
+			Faults: func(epoch int, regions []string) []fault.Window {
+				if len(regions) < 2 {
+					return nil
+				}
+				last := regions[len(regions)-1]
+				switch epoch {
+				case 2:
+					return []fault.Window{{Op: fault.OpRegionOrder, Scope: regions[1], Kind: fault.Unreachable, Count: 2}}
+				case 4:
+					return []fault.Window{
+						{Op: fault.OpRegionSettle, Scope: last, Kind: fault.Unreachable, Count: 2},
+						{Op: fault.OpRegionOrder, Scope: regions[0], Kind: fault.Latency, Count: 2},
+					}
+				case 6:
+					return []fault.Window{
+						{Op: fault.OpRegionGossip, Scope: regions[1], Kind: fault.Latency, Count: 2},
+						{Op: fault.OpRegionSettle, Scope: regions[1], Kind: fault.Unreachable, Count: 1},
+					}
+				}
+				return nil
+			},
 		},
 		{
 			Name:        "trader-storm",

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"clustermarket/internal/core"
+	"clustermarket/internal/fault"
 	"clustermarket/internal/invariant"
 	"clustermarket/internal/market"
 	"clustermarket/internal/resource"
@@ -81,6 +82,15 @@ type Config struct {
 	// both, or neither may be set. Pass the same Config to NewBackend and
 	// Run so backend and engine publish to the same firehose.
 	Telemetry *telemetry.Firehose
+	// Injector, when non-nil, threads the deterministic fault injector
+	// through the run: under every journal the backend opens (disk
+	// faults), into the federation router's region calls and gossip, and
+	// armed each epoch from the scenario's Faults schedule (plus random
+	// windows in chaos mode). Scripted schedules keep fault counts within
+	// the bounded inline retries, so a run whose faults all heal must
+	// fingerprint-match the fault-free run — the disk-fault and
+	// partition-storm scenarios enforce exactly that.
+	Injector *fault.Injector
 
 	rng *rand.Rand
 }
@@ -160,6 +170,13 @@ type Scenario struct {
 	// Evict removes this fraction of previously placed demand from every
 	// live region at the epoch's end — the ebb of a diurnal trough.
 	Evict func(epoch int) float64
+	// Faults is the epoch's scripted fault schedule, armed into
+	// Config.Injector just before demand generation (nil or an empty
+	// slice means a clean epoch). Scripted windows must keep their counts
+	// within the bounded inline retries (≤3 disk, ≤2 region) so every
+	// fault heals invisibly and the run fingerprint-matches its
+	// fault-free twin.
+	Faults func(epoch int, regions []string) []fault.Window
 }
 
 func (sc *Scenario) intensity(e int) float64 {
@@ -203,6 +220,12 @@ func (sc *Scenario) evict(e int) float64 {
 		return 0
 	}
 	return sc.Evict(e)
+}
+func (sc *Scenario) faults(e int, regions []string) []fault.Window {
+	if sc.Faults == nil {
+		return nil
+	}
+	return sc.Faults(e, regions)
 }
 
 // RegionPrice is one region's mean CPU price at an epoch boundary.
@@ -466,6 +489,13 @@ func (e *engine) runEpoch(sc *Scenario, epoch int) (*EpochSummary, error) {
 		Teams: s.Teams,
 		Dark:  append([]string(nil), s.Dark...),
 	})
+
+	// Arm this epoch's fault schedule just before demand generation, so
+	// the first armed disk fault lands on a submit append rather than on
+	// the epoch's bookkeeping (budget refresh, churn account opening).
+	// Arming replaces last epoch's windows, so a schedule a run never
+	// consumed (disk faults on an in-memory backend) cannot accumulate.
+	e.cfg.Injector.ArmEpoch(epoch, e.b.Regions(), sc.faults(epoch, e.b.Regions()))
 
 	// 4. Demand generation.
 	spotRegion := liveRegions[0]

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"clustermarket/internal/federation"
 	"clustermarket/internal/market"
 	"clustermarket/internal/telemetry"
 )
@@ -137,6 +138,32 @@ func collectExchange(m *families, ex *market.Exchange, region string) {
 		m.add("market_journal_snapshots_total", "counter", "Snapshots written (WAL rotations).", labels("region", region), float64(jm.Snapshots))
 		m.addHist("market_journal_fsync_latency_seconds", "WAL fsync latency.", labels("region", region), jm.FsyncLatency)
 	}
+	// Degraded-quiesce lifecycle: the gauge flips while the exchange is
+	// rejecting new orders on journal failure; the counters and the
+	// seconds total survive resume, so dashboards see past episodes.
+	ds := ex.DegradedStatus()
+	degraded := 0.0
+	if ds.Degraded {
+		degraded = 1
+	}
+	m.add("market_degraded", "gauge", "1 while the exchange is quiesced on journal failure, else 0.", labels("region", region), degraded)
+	m.add("market_degraded_entered_total", "counter", "Degraded-quiesce episodes entered.", labels("region", region), float64(ds.Entered))
+	m.add("market_degraded_exited_total", "counter", "Degraded-quiesce episodes resumed from.", labels("region", region), float64(ds.Exited))
+	m.add("market_degraded_seconds_total", "counter", "Cumulative seconds spent in degraded quiesce.", labels("region", region), ds.SecondsTotal)
+}
+
+// breakerStateValue encodes a circuit-breaker state for the gauge:
+// closed scrapes as 0, half-open as 1, open as 2, so alerting can
+// threshold on >= 1.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case federation.BreakerHalfOpen:
+		return 1
+	case federation.BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
 }
 
 // collectFirehose adds the firehose's own gauges — published volume,
@@ -188,6 +215,12 @@ func (s *FedServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			labels("outcome", oc.outcome), float64(oc.v))
 	}
 	m.add("fed_gossip_ticks_total", "counter", "Price-board gossip passes.", nil, float64(s.fed.GossipTick()))
+	for _, bs := range s.fed.BreakerStates() {
+		m.add("fed_breaker_state", "gauge", "Region circuit-breaker state (0 closed, 1 half-open, 2 open).",
+			labels("region", bs.Region), breakerStateValue(bs.State))
+		m.add("fed_breaker_opens_total", "counter", "Times the region's circuit breaker has opened.",
+			labels("region", bs.Region), float64(bs.Opens))
+	}
 	if j := s.fed.Journal(); j != nil {
 		jm := j.Metrics()
 		m.add("fed_journal_appends_total", "counter", "Routing events appended to the router WAL.", nil, float64(jm.Appends))
@@ -210,28 +243,65 @@ func (s *Server) SetHealth(h *telemetry.Health) { s.health = h }
 // end's /healthz.
 func (s *FedServer) SetHealth(h *telemetry.Health) { s.health = h }
 
-// serveHealthz writes the probe snapshot: 200 when the most recent
-// invariant check (if any) was clean, 503 otherwise, so a load balancer
-// or readiness gate can act on book corruption without parsing logs.
-func serveHealthz(w http.ResponseWriter, r *http.Request, h *telemetry.Health) {
+// healthView is the /healthz payload: the invariant-probe snapshot plus
+// the fault-tolerance overlay — degraded-quiesce state on the exchange
+// probe, per-region degradation and breaker states on the federation
+// probe. Any overlay condition (degraded exchange, degraded region,
+// non-closed breaker) forces Healthy false and a 503, so readiness
+// gates drain traffic while the market is rejecting or rerouting it.
+type healthView struct {
+	telemetry.HealthSnapshot
+	Degraded        *market.DegradedStatus     `json:"degraded,omitempty"`
+	DegradedRegions []string                   `json:"degraded_regions,omitempty"`
+	Breakers        []federation.BreakerStatus `json:"breakers,omitempty"`
+}
+
+// writeHealthz writes the probe payload: 200 when healthy, 503
+// otherwise, so a load balancer or readiness gate can act on book
+// corruption or degraded quiesce without parsing logs.
+func writeHealthz(w http.ResponseWriter, view healthView) {
+	w.Header().Set("Content-Type", "application/json")
+	if !view.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(view)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	snap := h.Snapshot(time.Now())
-	w.Header().Set("Content-Type", "application/json")
-	if !snap.Healthy {
-		w.WriteHeader(http.StatusServiceUnavailable)
+	view := healthView{HealthSnapshot: s.health.Snapshot(time.Now())}
+	if ds := s.ex.DegradedStatus(); ds.Degraded || ds.Entered > 0 {
+		view.Degraded = &ds
+		if ds.Degraded {
+			view.Healthy = false
+		}
 	}
-	json.NewEncoder(w).Encode(snap)
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	serveHealthz(w, r, s.health)
+	writeHealthz(w, view)
 }
 
 func (s *FedServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	serveHealthz(w, r, s.health)
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	view := healthView{HealthSnapshot: s.health.Snapshot(time.Now())}
+	for _, reg := range s.fed.Regions() {
+		if reg.Exchange().Degraded() {
+			view.DegradedRegions = append(view.DegradedRegions, reg.Name())
+			view.Healthy = false
+		}
+	}
+	for _, bs := range s.fed.BreakerStates() {
+		if bs.State != federation.BreakerClosed {
+			view.Breakers = s.fed.BreakerStates()
+			view.Healthy = false
+			break
+		}
+	}
+	writeHealthz(w, view)
 }
 
 // ---------------------------------------------------------------------
