@@ -53,7 +53,7 @@ bench:
 # (BenchmarkParallelSubmit across worker counts) appended to the same
 # file. Parametrized so re-running for a new PR cannot silently clobber
 # an earlier baseline: make bench-baseline BENCH_OUT=BENCH_prN.json
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 bench-baseline:
 	$(GO) test -run 'xxx' -bench . -benchtime 1x ./... | tee $(BENCH_OUT)
 	$(GO) test -run 'xxx' -bench 'ParallelSubmit|ConcurrentSubmit' -benchtime 2000x -cpu 1,4,8 . | tee -a $(BENCH_OUT)
@@ -61,8 +61,8 @@ bench-baseline:
 # Compare two recorded baselines (default: the previous PR's against
 # this PR's). Informational by default — single-iteration CI timings are
 # noise — pass BENCH_FAIL_OVER=N to fail on a >N% ns/op regression.
-BENCH_OLD ?= BENCH_pr7.json
-BENCH_NEW ?= BENCH_pr9.json
+BENCH_OLD ?= BENCH_pr9.json
+BENCH_NEW ?= BENCH_pr10.json
 BENCH_FAIL_OVER ?= 0
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(BENCH_OLD) -new $(BENCH_NEW) -fail-over $(BENCH_FAIL_OVER)
@@ -72,7 +72,7 @@ bench-compare:
 # tolerant threshold. Single-iteration timings swing wildly, so only a
 # blowup (accidental quadratic, lost fast path) trips the gate — real
 # perf work still uses bench-baseline on quiet hardware.
-BENCH_GATE_BASE ?= BENCH_pr7.json
+BENCH_GATE_BASE ?= BENCH_pr10.json
 BENCH_GATE_OVER ?= 400
 bench-ci:
 	$(MAKE) bench-baseline BENCH_OUT=BENCH_ci.json

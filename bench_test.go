@@ -303,6 +303,141 @@ func BenchmarkSparsePlanetEngines(b *testing.B) {
 	}
 }
 
+// sparseRegionalPlanetMarket is the sparse-planet workload sharded into
+// k independent sub-markets: the pools split into k contiguous regions,
+// every buyer's bundles stay inside one region, and the operator offers
+// per-region supply — so the bidder–pool graph has exactly k connected
+// components, each with its own hot-pool price war. This is the
+// decomposition-friendly topology BenchmarkPartitionedPlanetEngines
+// measures.
+func sparseRegionalPlanetMarket(seed int64, users, pools, k int) (*resource.Registry, []*core.Bid) {
+	rng := rand.New(rand.NewSource(seed))
+	reg := resource.NewRegistry()
+	for i := 0; i < pools; i++ {
+		reg.Add(resource.Pool{Cluster: benchName("sp", i), Dim: resource.CPU})
+	}
+	const hotPools = 4
+	per := pools / k
+	contenders := users / 32
+	supply := reg.Zero()
+	bids := make([]*core.Bid, 0, users+k)
+	for u := 0; u < users-contenders; u++ {
+		base := rng.Intn(k) * per
+		nAlt := rng.Intn(2) + 1
+		bundles := make([]resource.Vector, 0, nAlt)
+		for a := 0; a < nAlt; a++ {
+			v := reg.Zero()
+			for j := 0; j < rng.Intn(3)+2; j++ {
+				v[base+rng.Intn(per)] = float64(rng.Intn(16) + 1)
+			}
+			bundles = append(bundles, v)
+		}
+		bids = append(bids, &core.Bid{
+			User:    benchName("u", u),
+			Bundles: bundles,
+			Limit:   float64(rng.Intn(400) + 25),
+		})
+	}
+	for c := 0; c < contenders; c++ {
+		v := reg.Zero()
+		v[rng.Intn(k)*per+rng.Intn(hotPools)] = float64(rng.Intn(8) + 8)
+		bids = append(bids, &core.Bid{
+			User:    benchName("hot", c),
+			Bundles: []resource.Vector{v},
+			Limit:   float64(rng.Intn(4000) + 2000),
+		})
+	}
+	for _, b := range bids {
+		supply.AddInto(b.Bundles[0])
+	}
+	for r := 0; r < k; r++ {
+		v := reg.Zero()
+		offered := false
+		for i := r * per; i < (r+1)*per; i++ {
+			if supply[i] > 0 {
+				v[i] = -supply[i] / 2
+				offered = true
+			}
+		}
+		if offered {
+			bids = append(bids, &core.Bid{User: benchName("op", r), Limit: -0.001, Bundles: []resource.Vector{v}})
+		}
+	}
+	return reg, bids
+}
+
+// BenchmarkPartitionedPlanetEngines is the PR 10 headline: the
+// sparse-planet workload with k independent hot components, cleared
+// merged (PartitionOff) vs decomposed (PartitionAuto, serial) vs
+// decomposed with the component clocks fanned out (PartitionAuto +
+// Parallel). Results are bit-identical across all three by the
+// decomposition equivalence contract (TestPartitionedMatchesMergedDifferential);
+// the win is wall-clock: a decomposed component stops when *it* clears,
+// so cold components exit after a few dozen rounds instead of being
+// dragged through every hot component's full price-war tail, and under
+// Parallel the k tails overlap.
+//
+// Caveat as in the PR 4 shard benchmarks: this container pins
+// GOMAXPROCS to 1, so the parallel variant measures goroutine overhead
+// here and only shows its speedup on multi-core hardware. The
+// serial-decomposed variant's gain (early exit for cleared components)
+// is visible regardless. allocs/op must read 0 for the off and serial
+// variants; the parallel fan-out allocates its goroutine stacks.
+func BenchmarkPartitionedPlanetEngines(b *testing.B) {
+	const kComponents = 8
+	type variant struct {
+		name     string
+		mode     core.PartitionMode
+		parallel bool
+	}
+	variants := []variant{
+		{"off", core.PartitionOff, false},
+		{"auto", core.PartitionAuto, false},
+		{"auto-parallel", core.PartitionAuto, true},
+	}
+	for _, eng := range []core.Engine{core.EngineDense, core.EngineIncremental} {
+		for _, v := range variants {
+			b.Run(eng.String()+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
+				reg, bids := sparseRegionalPlanetMarket(9, 2048, 256, kComponents)
+				start := reg.Zero()
+				for i := range start {
+					start[i] = 0.5
+				}
+				a, err := core.NewAuction(reg, bids, core.Config{
+					Start:     start,
+					Policy:    core.Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+					Engine:    eng,
+					Partition: v.mode,
+					Parallel:  v.parallel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := a.Run() // warm-up: scratch + Result sized here
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.mode == core.PartitionAuto && a.Components() != kComponents {
+					b.Fatalf("decomposed into %d components, want %d", a.Components(), kComponents)
+				}
+				var rounds int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err = a.RunReusing(res)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds = res.Rounds
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(a.Components()), "components")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationIncrementPolicies compares the Section III.C.2 price
 // update rules on an identical market: time per full auction plus rounds
 // to converge.

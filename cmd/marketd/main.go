@@ -78,6 +78,8 @@ func main() {
 		"order/account book stripes per exchange (0 selects the default); submits in different stripes never share a lock")
 	engineName := flag.String("engine", "incremental",
 		"clock-auction engine: incremental (O(affected bidders) per round) or dense (reference path)")
+	partition := flag.Bool("partition", true,
+		"decompose each clock auction into independent bidder–pool components and clear them concurrently (bit-identical to the merged run); false pins the merged single-clock path")
 	journalDir := flag.String("journal-dir", "",
 		"durable journal directory: state changes hit the WAL before taking effect, and a restart recovers the books (world flags must match the previous run)")
 	fsyncEvery := flag.Int("fsync-every", 1,
@@ -97,6 +99,10 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	partMode := core.PartitionAuto
+	if !*partition {
+		partMode = core.PartitionOff
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -112,7 +118,7 @@ func main() {
 	// HTTP server has drained — the durability half of graceful shutdown.
 	closeJournal := func() error { return nil }
 	if *regions > 0 {
-		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
+		fed, closer, err := buildFederatedDemo(*regions, *clusters, *machines, *seed, *budget, engine, partMode, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -136,7 +142,7 @@ func main() {
 		handler = s
 		log.Printf("marketd: serving federated market (%d regions) on %s", *regions, *addr)
 	} else {
-		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
+		ex, closer, err := buildDemo(*clusters, *machines, *seed, *budget, engine, partMode, *shards, *journalDir, *fsyncEvery, *lockWait, fire)
 		if err != nil {
 			log.Fatal("marketd: ", err)
 		}
@@ -405,13 +411,13 @@ func noClose() error { return nil }
 // is rebuilt deterministically from the seed, not journaled). Recovery
 // runs the shared invariant kernel before serving. The returned closer
 // flushes and unlocks the journal on shutdown.
-func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*market.Exchange, func() error, error) {
+func buildDemo(clusters, machines int, seed int64, budget float64, engine core.Engine, partition core.PartitionMode, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*market.Exchange, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	fleet, err := buildRegionFleet(rng, "", clusters, machines, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards, Telemetry: fire}
+	cfg := market.Config{InitialBudget: budget, Engine: engine, Partition: partition, Shards: shards, Telemetry: fire}
 	if journalDir == "" {
 		ex, err := market.NewExchange(fleet, cfg)
 		if err != nil {
@@ -479,7 +485,7 @@ const fedSnapshotEvery = 64
 // journalDir/fed; a directory holding a previous run recovers every
 // member to the same cut — all-or-nothing, since a half-recovered
 // federation would desynchronize routing state from the regional books.
-func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*federation.Federation, func() error, error) {
+func buildFederatedDemo(regions, clusters, machines int, seed int64, budget float64, engine core.Engine, partition core.PartitionMode, shards int, journalDir string, fsyncEvery int, lockWait time.Duration, fire *telemetry.Firehose) (*federation.Federation, func() error, error) {
 	rng := rand.New(rand.NewSource(seed))
 	rs := make([]*federation.Region, 0, regions)
 	var journals []*journal.Journal
@@ -500,7 +506,7 @@ func buildFederatedDemo(regions, clusters, machines int, seed int64, budget floa
 			closeAll()
 			return nil, nil, err
 		}
-		cfg := market.Config{InitialBudget: budget, Engine: engine, Shards: shards, Telemetry: fire}
+		cfg := market.Config{InitialBudget: budget, Engine: engine, Partition: partition, Shards: shards, Telemetry: fire}
 		var rec *journal.Recovery
 		if journalDir != "" {
 			var j *journal.Journal

@@ -17,7 +17,7 @@ import (
 )
 
 func TestBuildDemo(t *testing.T) {
-	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, 0, "", 1, 0, nil)
+	ex, _, err := buildDemo(4, 6, 42, 5000, core.EngineIncremental, core.PartitionAuto, 0, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestBuildDemo(t *testing.T) {
 
 func TestBuildDemoBadInputs(t *testing.T) {
 	// Zero clusters yields an exchange error (no pools).
-	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, 0, "", 1, 0, nil); err == nil {
+	if _, _, err := buildDemo(0, 4, 1, 100, core.EngineIncremental, core.PartitionAuto, 0, "", 1, 0, nil); err == nil {
 		t.Error("zero clusters accepted")
 	}
 }
@@ -104,7 +104,7 @@ func TestValidateFlags(t *testing.T) {
 }
 
 func TestBuildFederatedDemo(t *testing.T) {
-	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, 2, "", 1, 0, nil)
+	fed, _, err := buildFederatedDemo(3, 2, 6, 42, 5000, core.EngineIncremental, core.PartitionAuto, 2, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestBuildFederatedDemo(t *testing.T) {
 // accepts traffic, then drains cleanly once the context is cancelled —
 // the SIGINT/SIGTERM flow without the signal.
 func TestServeGracefulShutdown(t *testing.T) {
-	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, "", 1, 0, nil)
+	ex, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, core.PartitionAuto, 0, "", 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +207,7 @@ func TestParseEngine(t *testing.T) {
 // directory — the flock a live marketd holds.
 func TestJournaledDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	ex, closer, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 	}
 
 	// While the first process holds the directory, a second must refuse.
-	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil); err == nil {
+	if _, _, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil); err == nil {
 		t.Fatal("second marketd opened a locked journal dir")
 	}
 
@@ -235,7 +235,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	ex2, closer2, err := buildDemo(3, 6, 11, 8000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -259,7 +259,7 @@ func TestJournaledDemoRecovers(t *testing.T) {
 // demo: every region and the router recover to the same cut.
 func TestJournaledFederatedDemoRecovers(t *testing.T) {
 	dir := t.TempDir()
-	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	fed, closer, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +273,7 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	fed2, closer2, err := buildFederatedDemo(2, 2, 6, 11, 8000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
@@ -292,7 +292,7 @@ func TestJournaledFederatedDemoRecovers(t *testing.T) {
 // /api/events — the same wiring main() performs.
 func TestDemoOpsEndpoints(t *testing.T) {
 	fire := telemetry.NewFirehose()
-	ex, _, err := buildDemo(2, 4, 7, 5000, core.EngineIncremental, 0, "", 1, 0, fire)
+	ex, _, err := buildDemo(2, 4, 7, 5000, core.EngineIncremental, core.PartitionAuto, 0, "", 1, 0, fire)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,13 +351,13 @@ func TestDemoOpsEndpoints(t *testing.T) {
 // the holder releases it.
 func TestLockWaitRetries(t *testing.T) {
 	dir := t.TempDir()
-	_, closer, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 0, nil)
+	_, closer, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Without a wait budget the held lock is a hard startup failure.
-	if _, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 0, nil); !errors.Is(err, journal.ErrLocked) {
+	if _, _, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 0, nil); !errors.Is(err, journal.ErrLocked) {
 		t.Fatalf("locked open without wait = %v, want ErrLocked", err)
 	}
 
@@ -367,7 +367,7 @@ func TestLockWaitRetries(t *testing.T) {
 		time.Sleep(150 * time.Millisecond)
 		closer()
 	}()
-	ex2, closer2, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, 0, dir, 1, 5*time.Second, nil)
+	ex2, closer2, err := buildDemo(2, 4, 7, 1000, core.EngineIncremental, core.PartitionAuto, 0, dir, 1, 5*time.Second, nil)
 	if err != nil {
 		t.Fatalf("open with lock-wait: %v", err)
 	}

@@ -69,6 +69,14 @@ type Config struct {
 	// Engine selects the demand-revelation strategy; the zero value is
 	// EngineIncremental.
 	Engine Engine
+	// Partition controls the sub-market decomposition (see partition.go):
+	// when the bidder–pool graph splits into independent connected
+	// components, each component's clock runs on its own scratch —
+	// concurrently under Parallel — and the per-component outcomes are
+	// merged back in global order, bit-identical to the merged
+	// single-clock run. The zero value PartitionAuto enables it;
+	// PartitionOff forces the merged loop.
+	Partition PartitionMode
 }
 
 // DefaultMaxRounds bounds auctions that were not given an explicit limit.
@@ -155,6 +163,13 @@ type Auction struct {
 	// incState is the incremental engine's reusable working set (dirty
 	// sets, epoch marks); reset at the top of each run.
 	incState *incrementalState
+	// part caches the sub-market decomposition (nil when partitioning is
+	// off, unsupported, or the market is one connected component); like
+	// incIndex it is derived from the frozen bid set, built once on first
+	// use, and shared across Run calls. partBuilt distinguishes "not yet
+	// decided" from a cached nil decision.
+	part      *partitionState
+	partBuilt bool
 	// sc holds the round loop's scratch vectors, shared by both engines.
 	sc runScratch
 }
@@ -206,6 +221,9 @@ func NewAuction(reg *resource.Registry, bids []*Bid, cfg Config) (*Auction, erro
 	}
 	if cfg.Epsilon < 0 {
 		return nil, errors.New("core: negative epsilon")
+	}
+	if cfg.Partition != PartitionAuto && cfg.Partition != PartitionOff {
+		return nil, fmt.Errorf("core: unknown partition mode %d", int(cfg.Partition))
 	}
 	if len(cfg.Start) != reg.Len() {
 		return nil, fmt.Errorf("core: start prices have %d components, registry has %d pools", len(cfg.Start), reg.Len())
@@ -269,6 +287,19 @@ func (a *Auction) Run() (*Result, error) { return a.RunReusing(nil) }
 //
 //marketlint:allocfree
 func (a *Auction) RunReusing(res *Result) (*Result, error) {
+	res = a.resetResult(res)
+	if ps := a.partition(); ps != nil {
+		return a.runPartitioned(ps, res)
+	}
+	return a.runMerged(res)
+}
+
+// runMerged dispatches the classic single-clock engines. It is both the
+// non-partitioned path and the fallback the partitioned driver uses to
+// reproduce globally-coupled error semantics exactly.
+//
+//marketlint:allocfree
+func (a *Auction) runMerged(res *Result) (*Result, error) {
 	res = a.resetResult(res)
 	if a.cfg.Engine == EngineDense {
 		return a.runDense(res)

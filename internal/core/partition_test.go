@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clustermarket/internal/resource"
+)
+
+// randomRegionalMarket builds a market with mostly-regional bidding —
+// the paper's planet-wide topology: pools grouped into regions, each bid
+// confined to one region's pools, with an occasional two-region bridge
+// bid so the component structure varies across seeds. It returns the
+// bids alongside the registry.
+func randomRegionalMarket(rng *rand.Rand, nRegions int) (*resource.Registry, []*Bid) {
+	regionPools := make([][]int, nRegions)
+	var pools []resource.Pool
+	for reg := 0; reg < nRegions; reg++ {
+		n := rng.Intn(3) + 1
+		for k := 0; k < n; k++ {
+			regionPools[reg] = append(regionPools[reg], len(pools))
+			pools = append(pools, resource.Pool{
+				Cluster: fmt.Sprintf("r%d-c%d", reg, k), Dim: resource.CPU,
+			})
+		}
+	}
+	registry := resource.NewRegistry(pools...)
+
+	n := rng.Intn(40) + nRegions
+	bids := make([]*Bid, 0, n)
+	for u := 0; u < n; u++ {
+		// Pick the bid's pool universe: one region, or (1 in 8) a bridge
+		// across two regions.
+		universe := regionPools[rng.Intn(nRegions)]
+		if nRegions > 1 && rng.Intn(8) == 0 {
+			universe = append(append([]int{}, universe...), regionPools[rng.Intn(nRegions)]...)
+		}
+		nAlt := rng.Intn(3) + 1
+		bundles := make([]resource.Vector, 0, nAlt)
+		kind := rng.Intn(4) // 0,1: buyer  2: seller  3: trader
+		for a := 0; a < nAlt; a++ {
+			v := make(resource.Vector, registry.Len())
+			for k := 0; k < rng.Intn(3)+1; k++ {
+				q := float64(rng.Intn(20) + 1)
+				switch {
+				case kind == 2:
+					q = -q
+				case kind == 3 && rng.Intn(2) == 0:
+					q = -q
+				}
+				v[universe[rng.Intn(len(universe))]] = q
+			}
+			if v.IsZero() {
+				v[universe[rng.Intn(len(universe))]] = 1
+			}
+			bundles = append(bundles, v)
+		}
+		b := &Bid{User: fmt.Sprintf("u%d", u), Bundles: bundles}
+		limit := func() float64 {
+			if b.Class() == PureSeller {
+				return -float64(rng.Intn(100) + 1)
+			}
+			return float64(rng.Intn(250) + 10)
+		}
+		if rng.Intn(2) == 0 {
+			b.BundleLimits = make([]float64, len(bundles))
+			for i := range b.BundleLimits {
+				b.BundleLimits[i] = limit()
+			}
+		} else {
+			b.Limit = limit()
+		}
+		bids = append(bids, b)
+	}
+	return registry, bids
+}
+
+// randomPartitionPolicy draws one of the four built-in policies so the
+// differential exercises every remapPolicy arm, including the per-pool
+// Cost vector gather.
+func randomPartitionPolicy(rng *rand.Rand, r int) IncrementPolicy {
+	switch rng.Intn(4) {
+	case 0:
+		return Additive{Alpha: 0.01 + rng.Float64()*0.05}
+	case 1:
+		return Proportional{Alpha: 0.02 + rng.Float64()*0.05, Frac: 0.5, Base: 0.5}
+	case 2:
+		cost := make(resource.Vector, r)
+		for i := range cost {
+			cost[i] = 0.5 + rng.Float64()*4
+		}
+		return CostNormalized{Alpha: 0.05, Cost: cost, DeltaFrac: 0.5}
+	default:
+		return Capped{Alpha: 0.01 + rng.Float64()*0.1, Delta: 0.2 + rng.Float64(), MinStep: 0.005}
+	}
+}
+
+// TestPartitionedMatchesMergedDifferential is the decomposition's
+// determinism contract, the three-way extension of the dense/incremental
+// differential: over randomized regional markets — multiple connected
+// components, all four built-in policies, scalar and vector limits,
+// ε = 0 and ε > 0, converging and non-converging clocks, serial and
+// parallel — the partitioned path's results are bit-identical to the
+// merged single-clock run on both engines. Exact float equality on every
+// Result field, including per-round history, is the assertion.
+func TestPartitionedMatchesMergedDifferential(t *testing.T) {
+	decomposed := 0
+	for seed := int64(0); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(9000 + seed))
+		registry, bids := randomRegionalMarket(rng, rng.Intn(5)+2)
+		start := make(resource.Vector, registry.Len())
+		for i := range start {
+			start[i] = rng.Float64() * 2
+		}
+		cfg := Config{
+			Start:         start,
+			Policy:        randomPartitionPolicy(rng, registry.Len()),
+			Epsilon:       float64(rng.Intn(2)) * 0.01,
+			MaxRounds:     300,
+			Parallel:      seed%3 == 0,
+			RecordHistory: true,
+		}
+
+		run := func(engine Engine, mode PartitionMode) (*Result, error, int) {
+			c := cfg
+			c.Engine = engine
+			c.Partition = mode
+			a, err := NewAuction(registry, bids, c)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, runErr := a.Run()
+			return res, runErr, a.Components()
+		}
+
+		ref, refErr, _ := run(EngineDense, PartitionOff)
+		for _, engine := range []Engine{EngineDense, EngineIncremental} {
+			for _, mode := range []PartitionMode{PartitionOff, PartitionAuto} {
+				if engine == EngineDense && mode == PartitionOff {
+					continue
+				}
+				got, gotErr, comps := run(engine, mode)
+				if mode == PartitionAuto && engine == EngineDense && comps > 1 {
+					decomposed++
+				}
+				tag := fmt.Sprintf("seed %d %v/partition=%v (%d components)", seed, engine, mode, comps)
+				if (refErr == nil) != (gotErr == nil) || gotErr != nil && !errors.Is(gotErr, refErr) {
+					t.Fatalf("%s: errors differ: ref=%v got=%v", tag, refErr, gotErr)
+				}
+				if (ref == nil) != (got == nil) {
+					t.Fatalf("%s: nil result mismatch: ref=%v got=%v", tag, refErr, gotErr)
+				}
+				if ref == nil {
+					continue
+				}
+				mustEqualResults(t, tag, ref, got)
+			}
+		}
+	}
+	// The generator must actually exercise the decomposition, not just
+	// single-component fallbacks.
+	if decomposed < 60 {
+		t.Fatalf("only %d/120 seeds decomposed into multiple components", decomposed)
+	}
+}
+
+// TestPartitionComponents pins the union-find construction itself.
+func TestPartitionComponents(t *testing.T) {
+	pool := func(i int) resource.Pool {
+		return resource.Pool{Cluster: fmt.Sprintf("c%d", i), Dim: resource.CPU}
+	}
+	registry := resource.NewRegistry(pool(0), pool(1), pool(2), pool(3))
+	bundle := func(idx int, q float64) resource.Vector {
+		v := make(resource.Vector, registry.Len())
+		v[idx] = q
+		return v
+	}
+	newAuction := func(t *testing.T, bids []*Bid, mode PartitionMode) *Auction {
+		t.Helper()
+		a, err := NewAuction(registry, bids, Config{
+			Start:     resource.Vector{1, 1, 1, 1},
+			Policy:    Capped{Alpha: 0.1, Delta: 0.5, MinStep: 0.01},
+			MaxRounds: 5000,
+			Partition: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	t.Run("DisjointRegions", func(t *testing.T) {
+		bids := []*Bid{
+			{User: "b0", Limit: 50, Bundles: []resource.Vector{bundle(0, 5)}},
+			{User: "b1", Limit: 50, Bundles: []resource.Vector{bundle(1, 5)}},
+			{User: "b2", Limit: 50, Bundles: []resource.Vector{bundle(2, 5)}},
+		}
+		if got := newAuction(t, bids, PartitionAuto).Components(); got != 3 {
+			t.Fatalf("Components = %d, want 3", got)
+		}
+	})
+
+	t.Run("PartitionOffForcesOne", func(t *testing.T) {
+		bids := []*Bid{
+			{User: "b0", Limit: 50, Bundles: []resource.Vector{bundle(0, 5)}},
+			{User: "b1", Limit: 50, Bundles: []resource.Vector{bundle(1, 5)}},
+		}
+		if got := newAuction(t, bids, PartitionOff).Components(); got != 1 {
+			t.Fatalf("Components = %d, want 1", got)
+		}
+	})
+
+	t.Run("SingleGiantComponent", func(t *testing.T) {
+		// Every bid shares pool 0, so the graph is one component and the
+		// merged path runs: the partitioned and non-partitioned runs are
+		// the same code path, byte for byte.
+		var bids []*Bid
+		for i := 0; i < 4; i++ {
+			v := make(resource.Vector, registry.Len())
+			v[0] = 1
+			v[i] = 2
+			bids = append(bids, &Bid{User: fmt.Sprintf("b%d", i), Limit: 80, Bundles: []resource.Vector{v}})
+		}
+		a := newAuction(t, bids, PartitionAuto)
+		if got := a.Components(); got != 1 {
+			t.Fatalf("Components = %d, want 1", got)
+		}
+		on, errOn := a.Run()
+		off, errOff := newAuction(t, bids, PartitionOff).Run()
+		if (errOn == nil) != (errOff == nil) {
+			t.Fatalf("errors differ: %v vs %v", errOn, errOff)
+		}
+		mustEqualResults(t, "giant", off, on)
+	})
+
+	t.Run("XORBundleBridges", func(t *testing.T) {
+		// The bridge bid demands pool 1 XOR pool 2: whichever bundle
+		// wins, its proxy reads both prices, so the two otherwise
+		// disjoint regions must merge into one component — leaving pools
+		// {0} and {1,2,3} as the two components.
+		bids := []*Bid{
+			{User: "solo", Limit: 50, Bundles: []resource.Vector{bundle(0, 5)}},
+			{User: "bridge", Limit: 50, Bundles: []resource.Vector{bundle(1, 5), bundle(2, 5)}},
+			{User: "b2", Limit: 50, Bundles: []resource.Vector{bundle(2, 5)}},
+			{User: "b3", Limit: 50, Bundles: []resource.Vector{bundle(3, 5)}},
+			{User: "bridge23", Limit: 50, Bundles: []resource.Vector{bundle(2, 1), bundle(3, 1)}},
+		}
+		a := newAuction(t, bids, PartitionAuto)
+		if got := a.Components(); got != 2 {
+			t.Fatalf("Components = %d, want 2", got)
+		}
+		on, errOn := a.Run()
+		off, errOff := newAuction(t, bids, PartitionOff).Run()
+		if errOn != nil || errOff != nil {
+			t.Fatalf("errors: %v vs %v", errOn, errOff)
+		}
+		mustEqualResults(t, "bridge", off, on)
+	})
+
+	t.Run("EmptyBookRejected", func(t *testing.T) {
+		// An empty book never reaches the partitioner: NewAuction
+		// rejects it identically in both modes, so there is no
+		// zero-component state to diverge on.
+		for _, mode := range []PartitionMode{PartitionOff, PartitionAuto} {
+			if _, err := NewAuction(registry, nil, Config{Partition: mode}); err == nil {
+				t.Errorf("mode %v: empty book accepted", mode)
+			}
+		}
+	})
+
+	t.Run("UnknownPolicyFallsBack", func(t *testing.T) {
+		bids := []*Bid{
+			{User: "b0", Limit: 50, Bundles: []resource.Vector{bundle(0, 5)}},
+			{User: "b1", Limit: 50, Bundles: []resource.Vector{bundle(1, 5)}},
+		}
+		a, err := NewAuction(registry, bids, Config{
+			Start:     resource.Vector{1, 1, 1, 1},
+			Policy:    opaquePolicy{},
+			MaxRounds: 500,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := a.Components(); got != 1 {
+			t.Fatalf("Components = %d with a foreign policy, want 1 (merged fallback)", got)
+		}
+	})
+}
+
+// opaquePolicy is a syntactically valid foreign IncrementPolicy the
+// decomposition cannot prove per-pool-local, so it must keep the merged
+// path.
+type opaquePolicy struct{}
+
+func (opaquePolicy) Name() string { return "opaque" }
+func (opaquePolicy) StepInto(dst, z, p resource.Vector) {
+	for i, zi := range z {
+		if zi > 0 {
+			dst[i] = 0.1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// TestPartitionedReEntryMidClock pins the re-entry path inside a
+// component: a priced-out seller re-enters and re-dirties its component
+// mid-clock while an unrelated component clears instantly, and the
+// partitioned outcome — drop rounds included — matches the merged run.
+func TestPartitionedReEntryMidClock(t *testing.T) {
+	registry := resource.NewRegistry(
+		resource.Pool{Cluster: "hot", Dim: resource.CPU},
+		resource.Pool{Cluster: "idle", Dim: resource.CPU},
+	)
+	bids := []*Bid{
+		// Wants at least 50 for 10 units: priced out below 5/unit,
+		// re-enters once the clock lifts the pool.
+		{User: "seller", Limit: -50, Bundles: []resource.Vector{{-10, 0}}},
+		{User: "buyer", Limit: 1000, Bundles: []resource.Vector{{10, 0}}},
+		// The second component clears in round 0.
+		{User: "idle-op", Limit: -0.000001, Bundles: []resource.Vector{{0, -5}}},
+	}
+	for _, engine := range []Engine{EngineDense, EngineIncremental} {
+		run := func(mode PartitionMode) *Result {
+			a, err := NewAuction(registry, bids, Config{
+				Start:         resource.Vector{1, 1},
+				Policy:        Capped{Alpha: 0.5, Delta: 1, MinStep: 0.1},
+				RecordHistory: true,
+				Engine:        engine,
+				Partition:     mode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mode == PartitionAuto {
+				if got := a.Components(); got != 2 {
+					t.Fatalf("Components = %d, want 2", got)
+				}
+			}
+			res, err := a.Run()
+			if err != nil {
+				t.Fatalf("%v/%v: %v", engine, mode, err)
+			}
+			return res
+		}
+		off, on := run(PartitionOff), run(PartitionAuto)
+		mustEqualResults(t, fmt.Sprintf("%v re-entry", engine), off, on)
+		if on.DropRound[0] != -1 {
+			t.Errorf("%v: re-entered seller DropRound = %d, want -1", engine, on.DropRound[0])
+		}
+		if !on.IsWinner(0) {
+			t.Errorf("%v: re-entered seller lost", engine)
+		}
+	}
+}
+
+// TestPartitionModeValidation rejects out-of-range modes up front.
+func TestPartitionModeValidation(t *testing.T) {
+	registry := resource.NewRegistry(resource.Pool{Cluster: "c", Dim: resource.CPU})
+	bids := []*Bid{{User: "b", Limit: 10, Bundles: []resource.Vector{{1}}}}
+	_, err := NewAuction(registry, bids, Config{Start: resource.Vector{0}, Partition: PartitionMode(7)})
+	if err == nil {
+		t.Fatal("PartitionMode(7) accepted")
+	}
+}
+
+// TestPartitionedSteadyStateAllocationFree extends the zero-allocation
+// contract to the decomposed serial path: once a multi-component
+// auction's scratch — per-component sub-auctions included — is warm,
+// RunReusing performs no heap allocations on either engine, with and
+// without history.
+func TestPartitionedSteadyStateAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	registry, bids := randomRegionalMarket(rng, 4)
+	start := make(resource.Vector, registry.Len())
+	for i := range start {
+		start[i] = 0.5
+	}
+	for _, history := range []bool{false, true} {
+		for _, engine := range []Engine{EngineDense, EngineIncremental} {
+			a, err := NewAuction(registry, bids, Config{
+				Start:         start,
+				Policy:        Capped{Alpha: 0.05, Delta: 0.5, MinStep: 0.01},
+				MaxRounds:     300,
+				RecordHistory: history,
+				Engine:        engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Components() < 2 {
+				t.Fatalf("market did not decompose: %d components", a.Components())
+			}
+			res, err := a.Run() // warm the scratch and the Result
+			if res == nil {
+				t.Fatalf("%v: nil result (%v)", engine, err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				res, _ = a.RunReusing(res)
+			})
+			if allocs != 0 {
+				t.Errorf("%v (history=%v): %.1f allocs per steady-state partitioned run, want 0", engine, history, allocs)
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -247,8 +248,14 @@ func (f *Federation) SubmitProduct(team, product string, qty float64, clusters [
 	if err != nil {
 		return nil, err
 	}
-	if qty <= 0 {
+	// qty <= 0 alone would wave NaN through (every comparison with NaN
+	// is false) into the per-region leg routing; reject non-finite and
+	// non-positive values before any leg is attempted.
+	if math.IsNaN(qty) || math.IsInf(qty, 0) || qty <= 0 {
 		return nil, fmt.Errorf("federation: quantity must be positive, got %g", qty)
+	}
+	if math.IsNaN(limit) || math.IsInf(limit, 0) || limit <= 0 {
+		return nil, fmt.Errorf("federation: limit must be a positive, finite number, got %g", limit)
 	}
 	if len(clusters) == 0 {
 		return nil, errors.New("federation: no clusters named")

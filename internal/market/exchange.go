@@ -3,6 +3,7 @@ package market
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -177,6 +178,12 @@ type Config struct {
 	// Engine selects the clock's demand-revelation engine; the zero value
 	// is core.EngineIncremental (the O(affected bidders) fast path).
 	Engine core.Engine
+	// Partition selects the clock's sub-market decomposition; the zero
+	// value is core.PartitionAuto, which clears independent connected
+	// components of the bidder–pool graph on separate clocks (concurrently
+	// under Parallel) with results bit-identical to the merged run.
+	// core.PartitionOff forces the single merged clock.
+	Partition core.PartitionMode
 	// Journal, when non-nil, makes the exchange durable: every state
 	// change is appended to the write-ahead log before it is applied, and
 	// a snapshot is written every SnapshotEvery auctions. Nil keeps the
@@ -530,8 +537,15 @@ func (e *Exchange) SubmitProduct(team, product string, qty float64, clusters []s
 	if err != nil {
 		return nil, e.rejected(err)
 	}
-	if qty <= 0 {
+	// qty <= 0 alone would wave NaN through (every comparison with NaN
+	// is false) and let it poison the cover vector; a non-positive or
+	// non-finite limit would book an order that can never win but still
+	// sits in every clock.
+	if math.IsNaN(qty) || math.IsInf(qty, 0) || qty <= 0 {
 		return nil, e.rejected(fmt.Errorf("market: quantity must be positive, got %g", qty))
+	}
+	if math.IsNaN(limit) || math.IsInf(limit, 0) || limit <= 0 {
+		return nil, e.rejected(fmt.Errorf("market: limit must be a positive, finite number, got %g", limit))
 	}
 	if len(clusters) == 0 {
 		return nil, e.rejected(errors.New("market: no clusters named"))
@@ -808,24 +822,34 @@ func (e *Exchange) ReservePrices() (resource.Vector, error) {
 	return e.pricer.Prices(e.reg, util, cost)
 }
 
-// operatorSupply builds the operator's sell-side bid: a fraction of each
-// pool's free capacity, with a minimal ask (the reserve prices themselves
-// do the price flooring, since the clock starts there).
-func (e *Exchange) operatorSupply() *core.Bid {
+// operatorSupply builds the operator's sell-side bids: a fraction of
+// each pool's free capacity, one bid per cluster, each with a minimal
+// ask (the reserve prices themselves do the price flooring, since the
+// clock starts there). The per-cluster split matters to the sub-market
+// decomposition: a single planet-wide supply bundle would weld every
+// cluster into one connected component of the bidder–pool graph, while
+// per-cluster offers — each cluster's capacity is a separate divisible
+// supply anyway — leave regional demand free to clear on independent
+// clocks. Clusters are visited in registry first-seen order, so the bid
+// sequence is deterministic.
+func (e *Exchange) operatorSupply() []*core.Bid {
 	free := e.fleet.FreeVector(e.reg)
-	supply := e.reg.Zero()
-	any := false
-	for i, f := range free {
-		q := f * e.cfg.MarketableFraction
-		if q > 0 {
-			supply[i] = -q
-			any = true
+	var out []*core.Bid
+	for _, cluster := range e.reg.Clusters() {
+		var supply resource.Vector
+		for _, i := range e.reg.ClusterPools(cluster) {
+			if q := free[i] * e.cfg.MarketableFraction; q > 0 {
+				if supply == nil {
+					supply = e.reg.Zero()
+				}
+				supply[i] = -q
+			}
+		}
+		if supply != nil {
+			out = append(out, &core.Bid{User: OperatorAccount, Bundles: []resource.Vector{supply}, Limit: -0.000001})
 		}
 	}
-	if !any {
-		return nil
-	}
-	return &core.Bid{User: OperatorAccount, Bundles: []resource.Vector{supply}, Limit: -0.000001}
+	return out
 }
 
 // assemble snapshots the open batch and maps it, plus operator supply,
@@ -852,9 +876,7 @@ func (e *Exchange) assemble() ([]*core.Bid, []*Order, error) {
 	for _, o := range open {
 		bids = append(bids, o.Bid)
 	}
-	if op := e.operatorSupply(); op != nil {
-		bids = append(bids, op)
-	}
+	bids = append(bids, e.operatorSupply()...)
 	return bids, open, nil
 }
 
@@ -895,9 +917,7 @@ func (e *Exchange) claimBatch() ([]*core.Bid, []*Order, error) {
 	for _, o := range open {
 		bids = append(bids, o.Bid)
 	}
-	if op := e.operatorSupply(); op != nil {
-		bids = append(bids, op)
-	}
+	bids = append(bids, e.operatorSupply()...)
 	return bids, open, nil
 }
 
@@ -938,6 +958,7 @@ func (e *Exchange) PreliminaryPrices() (prices resource.Vector, converged bool, 
 		MaxRounds: e.cfg.MaxRounds,
 		Parallel:  e.cfg.Parallel,
 		Engine:    e.cfg.Engine,
+		Partition: e.cfg.Partition,
 	})
 	if err != nil {
 		return nil, false, err
@@ -996,6 +1017,7 @@ func (e *Exchange) RunAuction() (*AuctionRecord, *core.Result, error) {
 		MaxRounds: e.cfg.MaxRounds,
 		Parallel:  e.cfg.Parallel,
 		Engine:    e.cfg.Engine,
+		Partition: e.cfg.Partition,
 	})
 	if err != nil {
 		e.releaseBatch(open)

@@ -505,18 +505,43 @@ func TestOperatorSupplyRespectsMarketableFraction(t *testing.T) {
 		t.Fatal(err)
 	}
 	sup := e.operatorSupply()
-	if sup == nil {
+	if len(sup) == 0 {
 		t.Fatal("no operator supply")
 	}
 	reg := e.Registry()
+	// One sell-side bid per cluster with free capacity, in registry
+	// cluster order, jointly covering every pool exactly once.
+	if want := len(reg.Clusters()); len(sup) != want {
+		t.Fatalf("operator supply split into %d bids, want one per cluster (%d)", len(sup), want)
+	}
+	merged := reg.Zero()
+	for _, b := range sup {
+		if b.User != OperatorAccount {
+			t.Fatalf("supply bid user = %q", b.User)
+		}
+		clusters := map[string]bool{}
+		for i, q := range b.Bundles[0] {
+			if q == 0 {
+				continue
+			}
+			if merged[i] != 0 {
+				t.Fatalf("pool %d offered by two supply bids", i)
+			}
+			merged[i] = q
+			clusters[reg.Pool(i).Cluster] = true
+		}
+		if len(clusters) != 1 {
+			t.Fatalf("supply bid spans %d clusters, want 1", len(clusters))
+		}
+	}
 	free := f.FreeVector(reg)
 	for i := range free {
 		want := -free[i] * 0.5
 		if free[i] <= 0 {
 			want = 0
 		}
-		if math.Abs(sup.Bundles[0][i]-want) > 1e-9 {
-			t.Errorf("pool %d supply = %v, want %v", i, sup.Bundles[0][i], want)
+		if math.Abs(merged[i]-want) > 1e-9 {
+			t.Errorf("pool %d supply = %v, want %v", i, merged[i], want)
 		}
 	}
 }

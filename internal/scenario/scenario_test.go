@@ -79,6 +79,32 @@ func TestSameSeedBitIdentical(t *testing.T) {
 	}
 }
 
+// TestPartitionModeFingerprintInvariant pins the sub-market
+// decomposition's equivalence contract at the system level: every
+// catalog scenario, on both backends, fingerprints bit-identically
+// whether the clock runs merged (core.PartitionOff) or decomposed into
+// independent bidder–pool components (core.PartitionAuto, the
+// default). Prices, premiums, settlement order, and every epoch
+// summary field must survive the partitioned path unchanged — any
+// map-order or float-accumulation divergence it introduces breaks this
+// immediately.
+func TestPartitionModeFingerprintInvariant(t *testing.T) {
+	for _, sc := range Catalog() {
+		for _, kind := range backendKinds {
+			t.Run(sc.Name+"/"+kind, func(t *testing.T) {
+				off := runNamed(t, sc.Name, kind, Config{Seed: 97, Partition: core.PartitionOff})
+				auto := runNamed(t, sc.Name, kind, Config{Seed: 97, Partition: core.PartitionAuto})
+				if off.Fingerprint() != auto.Fingerprint() {
+					t.Errorf("partition modes diverged: off %s vs auto %s", off.Fingerprint(), auto.Fingerprint())
+				}
+				if !reflect.DeepEqual(off.Epochs, auto.Epochs) {
+					t.Errorf("partition modes diverged in epoch summaries:\n%+v\nvs\n%+v", off.Epochs, auto.Epochs)
+				}
+			})
+		}
+	}
+}
+
 // TestDifferentSeedsDiverge guards the fingerprint itself: if two runs
 // with different seeds hash identically, the fingerprint is not actually
 // covering the summaries.

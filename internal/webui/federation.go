@@ -157,13 +157,13 @@ func (s *FedServer) handleGlobalBid(w http.ResponseWriter, r *http.Request) {
 	fail := func(msg string) { errRedirect(w, r, "/", msg) }
 	team := strings.TrimSpace(r.FormValue("team"))
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
-	if err != nil {
-		fail("bad quantity")
+	if err != nil || !finitePositive(qty) {
+		http.Error(w, "quantity must be a positive, finite number", http.StatusBadRequest)
 		return
 	}
 	limit, err := strconv.ParseFloat(r.FormValue("limit"), 64)
-	if err != nil {
-		fail("bad limit")
+	if err != nil || !finitePositive(limit) {
+		http.Error(w, "limit must be a positive, finite number", http.StatusBadRequest)
 		return
 	}
 	if _, err := s.fed.SubmitProduct(team, r.FormValue("product"), qty, splitCSV(r.FormValue("clusters")), limit); err != nil {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"html/template"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -253,7 +254,7 @@ func (s *Server) handleBidPreview(w http.ResponseWriter, r *http.Request) {
 	team := strings.TrimSpace(r.FormValue("team"))
 	productName := r.FormValue("product")
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
-	if err != nil || qty <= 0 {
+	if err != nil || !finitePositive(qty) {
 		s.redirectErr(w, r, "quantity must be a positive number")
 		return
 	}
@@ -319,13 +320,13 @@ func (s *Server) handleBidSubmit(w http.ResponseWriter, r *http.Request) {
 
 	team := strings.TrimSpace(r.FormValue("team"))
 	qty, err := strconv.ParseFloat(r.FormValue("qty"), 64)
-	if err != nil {
-		s.redirectErr(w, r, "bad quantity")
+	if err != nil || !finitePositive(qty) {
+		http.Error(w, "quantity must be a positive, finite number", http.StatusBadRequest)
 		return
 	}
 	limit, err := strconv.ParseFloat(r.FormValue("limit"), 64)
-	if err != nil {
-		s.redirectErr(w, r, "bad limit")
+	if err != nil || !finitePositive(limit) {
+		http.Error(w, "limit must be a positive, finite number", http.StatusBadRequest)
 		return
 	}
 	order, err := s.ex.SubmitProduct(team, r.FormValue("product"), qty, splitCSV(r.FormValue("clusters")), limit)
@@ -577,6 +578,14 @@ func (s *Server) redirectErr(w http.ResponseWriter, r *http.Request, msg string)
 // parameter, escaped so error text containing &, %, or # survives.
 func errRedirect(w http.ResponseWriter, r *http.Request, path, msg string) {
 	http.Redirect(w, r, path+"?err="+url.QueryEscape(msg), http.StatusSeeOther)
+}
+
+// finitePositive reports whether v is a finite number greater than
+// zero. strconv.ParseFloat happily accepts "NaN", "+Inf", and "-Inf",
+// so bid ingress must reject non-finite values explicitly before they
+// reach budget reservation or auction arithmetic.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
 }
 
 func splitCSV(s string) []string {
